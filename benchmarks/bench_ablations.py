@@ -1,0 +1,45 @@
+"""Benchmark: ablations of the design choices called out in DESIGN.md."""
+
+from repro.experiments.ablations import (
+    run_exact_pruning_ablation,
+    run_greedy_ratio_ablation,
+    run_pruning_plan_ablation,
+)
+
+
+def test_ablation_exact_pruning(benchmark, record_result):
+    result = benchmark.pedantic(run_exact_pruning_ablation, rounds=1, iterations=1)
+    record_result(result)
+    for scenario in {row["scenario"] for row in result.rows}:
+        rows = {r["variant"]: r for r in result.rows if r["scenario"] == scenario}
+        # Bound pruning keeps (weakly) fewer partial speeches alive and never
+        # changes the result quality.
+        assert rows["with_pruning"]["partial_speeches"] <= rows["without_pruning"]["partial_speeches"]
+        assert abs(
+            rows["with_pruning"]["avg_scaled_utility"]
+            - rows["without_pruning"]["avg_scaled_utility"]
+        ) < 1e-9
+
+
+def test_ablation_pruning_plans(benchmark, record_result):
+    result = benchmark.pedantic(run_pruning_plan_ablation, rounds=1, iterations=1)
+    record_result(result)
+    for scenario in {row["scenario"] for row in result.rows}:
+        rows = {r["algorithm"]: r for r in result.rows if r["scenario"] == scenario}
+        # All greedy variants return speeches of identical quality.
+        qualities = {round(r["avg_scaled_utility"], 6) for r in rows.values()}
+        assert len(qualities) == 1
+        # Pruning never increases the number of fact-gain evaluations.
+        assert rows["G-P"]["fact_evaluations"] <= rows["G-B"]["fact_evaluations"]
+        assert rows["G-O"]["fact_evaluations"] <= rows["G-B"]["fact_evaluations"]
+
+
+def test_ablation_greedy_ratio(benchmark, record_result):
+    result = benchmark.pedantic(run_greedy_ratio_ablation, rounds=1, iterations=1)
+    record_result(result)
+    ratios = [row["ratio"] for row in result.rows]
+    assert ratios
+    # The (1 - 1/e) guarantee holds for every instance; in practice the
+    # ratio is far higher (paper: >= 98% on average).
+    assert min(ratios) >= 1 - 1 / 2.718281828 - 1e-9
+    assert sum(ratios) / len(ratios) >= 0.95

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 10 (latency / processing time vs baseline).
+
+Expected shape (paper): our run-time latency (a store lookup) is orders
+of magnitude below the sampling baseline's latency, and the baseline's
+first-sentence latency is below its total processing time.
+"""
+
+from repro.experiments.fig10_latency import latency_advantage, run_figure10
+
+
+def test_fig10_latency(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs={"queries_per_dataset": 10, "max_problems": 200},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert {row["dataset"] for row in result.rows} == {"S", "F", "P"}
+
+    advantage = latency_advantage(result)
+    for dataset, factor in advantage.items():
+        assert factor > 10, f"expected large latency advantage for {dataset}"
+
+    for row in result.rows:
+        assert row["baseline_latency_ms"] <= row["baseline_total_ms"] + 1e-6
+        assert row["our_runtime_latency_ms"] < row["preprocessing_per_query_ms"]

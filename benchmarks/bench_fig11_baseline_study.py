@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (worker preferences vs sampling baseline).
+
+Expected shape (paper): our precise-average speeches are preferred over
+the baseline's range speeches, with gains on "Precise" and
+"Informative".
+"""
+
+from repro.experiments.fig11_baseline_study import overall_winner, run_figure11
+
+
+def test_fig11_baseline_study(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure11, kwargs={"workers": 50}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert overall_winner(result) == "This"
+
+    # Average "Precise" rating of our speeches exceeds the baseline's.
+    ours = [row["Precise"] for row in result.rows if row["approach"] == "This"]
+    baseline = [row["Precise"] for row in result.rows if row["approach"] == "Baseline"]
+    assert sum(ours) / len(ours) > sum(baseline) / len(baseline)

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 3 (algorithm comparison per scenario).
+
+Expected shape (paper): exact optimization is far slower than the
+greedy variants while greedy utility stays within a few percent of the
+optimum; pruning reduces the number of fact-gain evaluations.
+"""
+
+from repro.experiments.fig3_algorithms import run_figure3, summarize_figure3
+from repro.experiments.scenarios import SMALL_SCALE
+
+
+def test_fig3_algorithms(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={"scale": SMALL_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    summary = summarize_figure3(result)
+
+    # Every scenario ran all four algorithms.
+    scenarios = {row["scenario"] for row in result.rows}
+    assert len(scenarios) == 8
+    assert len(result.rows) == len(scenarios) * 4
+
+    # Exact optimization costs more time than base greedy in total.
+    assert summary["total_seconds_E"] > summary["total_seconds_G-B"]
+    # Greedy utility is close to optimal (paper: >= 98%; guarantee: 63%).
+    assert summary["min_greedy_utility_ratio"] >= 0.9

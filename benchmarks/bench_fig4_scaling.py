@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (scaling speech length and fact dimensions).
+
+Expected shape (paper): cost grows gracefully in the speech length and
+steeply in the number of dimensions per fact; G-O performs at most the
+work of G-P.
+"""
+
+from repro.experiments.fig4_scaling import run_figure4, scaling_series
+
+
+def test_fig4_scaling(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={"queries_per_scenario": 2},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    # Cost grows in the fact-dimension limit for every scenario (G-P curve).
+    for scenario, points in scaling_series(result, "fact_dimensions", "G-P").items():
+        values = [cost for _, cost in points]
+        assert values == sorted(values), f"cost should grow with fact dims in {scenario}"
+
+    # Cost grows (weakly) in the speech length as well.
+    for scenario, points in scaling_series(result, "speech_length", "G-P").items():
+        values = [cost for _, cost in points]
+        assert values[0] <= values[-1]
+
+    # The optimizer never does more gain evaluations than the naive plan.
+    go_work = sum(r["fact_evaluations"] for r in result.rows if r["algorithm"] == "G-O")
+    gp_work = sum(r["fact_evaluations"] for r in result.rows if r["algorithm"] == "G-P")
+    assert go_work <= gp_work * 1.05

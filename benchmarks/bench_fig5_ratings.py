@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (worker preferences vs quality model).
+
+Expected shape (paper): average ratings and pairwise wins increase from
+the worst-ranked to the best-ranked speech.
+"""
+
+from repro.experiments.fig5_ratings import quality_rating_correlation, run_figure5
+
+
+def test_fig5_ratings(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={"workers": 50, "pool_size": 100},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    # Ratings are consistent with the model ranking for most adjectives.
+    assert quality_rating_correlation(result) >= 0.75
+
+    # The best speech wins more comparisons than the worst one, per dataset.
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = {r["speech"]: r for r in result.rows if r["dataset"] == dataset}
+        assert rows["Best"]["wins"] > rows["Worst"]["wins"]

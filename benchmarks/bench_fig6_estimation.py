@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (estimates after worst vs best speech).
+
+Expected shape (paper): worker estimates based on the best-ranked
+speech track the correct values more closely than estimates based on
+the worst-ranked speech.
+"""
+
+from repro.experiments.fig6_estimation import mean_errors, run_figure6
+
+
+def test_fig6_estimation(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={"workers_per_point": 20, "pool_size": 100},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == 15  # 5 boroughs x 3 age groups
+    errors = mean_errors(result)
+    assert errors["best"] < errors["worst"]

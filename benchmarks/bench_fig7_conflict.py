@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7 (conflict-resolution models).
+
+Expected shape (paper): the closest-relevant-value model predicts
+worker answers with the lowest error on both datasets.
+"""
+
+from repro.experiments.fig7_conflict import best_models, run_figure7
+
+
+def test_fig7_conflict(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs={"workers_per_combination": 20},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == 8  # 2 datasets x 4 models
+    winners = best_models(result)
+    assert winners["ACS"] == "Closest"
+    assert winners["Flights"] == "Closest"

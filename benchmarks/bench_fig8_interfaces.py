@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 8 (voice vs visual interface study).
+
+Expected shape (paper): a majority of participants answer faster with
+the voice interface; usability ratings of the two interfaces are
+comparable.
+"""
+
+from repro.experiments.fig8_interfaces import run_figure8
+
+
+def test_fig8_interfaces(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={"participants": 10, "questions_per_interface": 3, "max_problems": 300},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == 10
+
+    faster_with_voice = sum(
+        1 for row in result.rows if row["vocal_time_s"] < row["visual_time_s"]
+    )
+    assert faster_with_voice >= 5  # majority faster with voice
+
+    mean_vocal = sum(row["vocal_rating"] for row in result.rows) / len(result.rows)
+    mean_visual = sum(row["visual_rating"] for row in result.rows) / len(result.rows)
+    assert abs(mean_vocal - mean_visual) < 3.0  # comparable usability

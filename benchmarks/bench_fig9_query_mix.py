@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (query complexity and query type).
+
+Expected shape (paper): most data-access queries restrict exactly one
+dimension, and retrieval queries dominate comparisons and extrema.
+"""
+
+from repro.experiments.fig9_query_mix import dominant_complexity, run_figure9
+
+
+def test_fig9_query_mix(benchmark, record_result):
+    result = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    record_result(result)
+
+    assert dominant_complexity(result) == "1 predicates"
+
+    shapes = {row["category"]: row["count"] for row in result.rows if row["chart"] == "(b) type"}
+    assert shapes["retrieval"] > shapes["comparison"]
+    assert shapes["retrieval"] > shapes["extremum"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section VIII-E ML-baseline comparison.
+
+Expected shape (paper): ML-generated speeches are rated consistently
+lower than ours, and their failure modes are redundancy and overly
+narrow scopes.
+"""
+
+from repro.experiments.ml_baseline_study import run_ml_baseline
+
+
+def test_ml_baseline(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_ml_baseline, kwargs={"workers": 30}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.rows, "the ML study should produce per-adjective rows"
+    for row in result.rows:
+        assert row["our_rating"] > row["ml_rating"], (
+            f"our approach should out-rate the ML baseline on {row['adjective']}"
+        )

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (dataset overview)."""
+
+from repro.experiments.table1_datasets import run_table1
+
+
+def test_table1_datasets(benchmark, record_result):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_result(result)
+    assert len(result.rows) == 4
+    by_name = {row["dataset"]: row for row in result.rows}
+    # The synthetic replicas preserve the dimension/target structure of Table I.
+    assert by_name["ACS NY"]["synthetic_dims"] == 3
+    assert by_name["Stack Overflow"]["synthetic_dims"] == 7
+    assert by_name["Flights"]["synthetic_dims"] == 6
+    assert by_name["Primaries"]["synthetic_dims"] == 5

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (worst vs best ACS speech texts).
+
+Expected shape (paper): the best-ranked speech leads with the dominant
+age-group effect while the worst-ranked speech has much lower utility.
+"""
+
+from repro.experiments.table2_speeches import run_table2
+
+
+def test_table2_speeches(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"pool_size": 100}, rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {row["speech"]: row for row in result.rows}
+    assert set(rows) == {"Worst", "Best"}
+    assert rows["Best"]["scaled_utility"] > rows["Worst"]["scaled_utility"]
+    # The best speech mentions an age group (the dominant effect in the data).
+    assert "age group" in rows["Best"]["text"].lower()

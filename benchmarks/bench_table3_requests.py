@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table III (request classification per deployment).
+
+Expected shape (paper): help requests are common, repeats are rare, and
+supported queries outnumber unsupported ones for the primaries and
+flights deployments.
+"""
+
+from repro.experiments.table3_requests import run_table3
+
+
+def test_table3_requests(benchmark, record_result):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    record_result(result)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        total = row["help"] + row["repeat"] + row["s_query"] + row["u_query"] + row["other"]
+        assert total == 50  # each deployment log has 50 requests
+    by_deployment = {row["deployment"]: row for row in result.rows}
+    assert by_deployment["Primaries"]["s_query"] > by_deployment["Primaries"]["u_query"]
+    assert by_deployment["Flights"]["s_query"] > by_deployment["Flights"]["u_query"]

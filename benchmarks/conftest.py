@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides
+the timing collected by pytest-benchmark, each benchmark writes the
+regenerated rows/series to ``benchmarks/results/<name>.txt`` so the
+numbers are inspectable without re-running anything (and feed
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Allow running the benchmarks without installing the package first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture()
+def record_result():
+    """Persist an ExperimentResult's text report under benchmarks/results/."""
+
+    def _record(result) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.to_text() + "\n")
+        # Also echo to stdout so `pytest -s` shows the regenerated rows.
+        print()
+        print(result.to_text())
+
+    return _record

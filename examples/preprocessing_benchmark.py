@@ -1,0 +1,46 @@
+"""Pre-processing vs run-time tradeoff across the evaluation datasets.
+
+The paper's headline systems argument (Figure 10): spending minutes in
+a pre-processing batch buys near-zero run-time latency, while the prior
+sampling-based approach pays its cost at query time.  This example runs
+a scaled-down version of that comparison over the Stack Overflow,
+Flights and Primaries datasets and prints a side-by-side table.
+
+Run with:  python examples/preprocessing_benchmark.py
+"""
+
+from repro.experiments.fig10_latency import latency_advantage, run_figure10
+from repro.experiments.runner import format_rows
+
+
+def main() -> None:
+    result = run_figure10(queries_per_dataset=10, max_problems=200)
+    print(result.to_text())
+    print()
+    advantage = latency_advantage(result)
+    for dataset, factor in advantage.items():
+        print(
+            f"dataset {dataset}: answering from pre-generated speeches is "
+            f"~{factor:,.0f}x faster at run time than sampling on demand"
+        )
+    print(
+        "\n(The pre-processing cost is amortised over all pre-generated "
+        "speeches; see the per-query pre-processing column.)"
+    )
+    print()
+    print(format_rows(
+        [
+            {
+                "dataset": row["dataset"],
+                "speeches": row["speeches_pregenerated"],
+                "preprocess_ms_per_speech": row["preprocessing_per_query_ms"],
+                "runtime_lookup_ms": row["our_runtime_latency_ms"],
+                "baseline_query_ms": row["baseline_total_ms"],
+            }
+            for row in result.rows
+        ]
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This
+file exists so the package can be installed in editable mode in offline
+environments whose setuptools/pip combination lacks PEP 660 support
+(``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path when needed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""Pruning-plan generation and selection (Section VI-D, Algorithm 4).
+
+Algorithm 4 generates a restricted set of candidate plans: sources are
+prefixes of the groups sorted by ascending fact count (small groups
+have higher expected per-fact utility), and targets are picked greedily
+by the heuristic H(t, S, L) = Pr(P_t) · |{l ∈ L : t ⊆ l}| — the
+expected number of groups removed when ``t`` is used as a target.
+``OPT_PRUNE`` then returns the candidate with minimal estimated cost.
+The trivial no-pruning plan is always a candidate, so the optimizer can
+fall back to plain greedy when pruning is unlikely to pay off.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.algorithms.cost_model import PruningCostModel, PruningPlan
+from repro.facts.groups import FactGroup
+
+
+def generate_candidate_plans(
+    groups: Sequence[FactGroup],
+    fact_counts: Mapping[FactGroup, int],
+    cost_model: PruningCostModel,
+    max_source_prefix: int | None = None,
+) -> list[PruningPlan]:
+    """Generate candidate pruning plans (Algorithm 4).
+
+    Parameters
+    ----------
+    groups:
+        All fact groups with candidate facts.
+    fact_counts:
+        Number of facts per group, used to order source prefixes.
+    cost_model:
+        Supplies Pr(P_t) for the target-selection heuristic.
+    max_source_prefix:
+        Optional cap on the number of source prefixes considered
+        (keeps optimization overhead bounded for many groups).
+    """
+    plans: list[PruningPlan] = [PruningPlan((), ())]
+    ordered = sorted(groups, key=lambda g: (fact_counts.get(g, 1), g.dimensions))
+    if len(ordered) < 2:
+        return plans
+
+    prefix_limit = len(ordered) - 1
+    if max_source_prefix is not None:
+        prefix_limit = min(prefix_limit, max_source_prefix)
+
+    for prefix_length in range(1, prefix_limit + 1):
+        sources = tuple(ordered[:prefix_length])
+        remaining = set(ordered[prefix_length:])
+        targets: list[FactGroup] = []
+        while remaining:
+            best_target = max(
+                remaining,
+                key=lambda t: (_target_value(t, sources, remaining, cost_model), t.dimensions),
+            )
+            targets.append(best_target)
+            plans.append(PruningPlan(sources, tuple(targets)))
+            remaining = {
+                g for g in remaining if not g.is_specialization_of(best_target)
+            }
+    return plans
+
+
+def _target_value(
+    target: FactGroup,
+    sources: Sequence[FactGroup],
+    remaining: set[FactGroup],
+    cost_model: PruningCostModel,
+) -> float:
+    """H(t, S, L): expected number of groups removed by target ``t``."""
+    prune_probability = cost_model.target_prune_probability(target, sources)
+    covered = sum(1 for g in remaining if g.is_specialization_of(target))
+    return prune_probability * covered
+
+
+class PruningPlanOptimizer:
+    """OPT_PRUNE: select the minimum-cost plan among Algorithm 4's candidates."""
+
+    def __init__(self, cost_model: PruningCostModel, max_source_prefix: int | None = 4):
+        self._cost_model = cost_model
+        self._max_source_prefix = max_source_prefix
+
+    def choose_plan(
+        self,
+        groups: Sequence[FactGroup],
+        fact_counts: Mapping[FactGroup, int],
+    ) -> PruningPlan:
+        """Return the candidate plan with minimal estimated cost."""
+        candidates = generate_candidate_plans(
+            groups, fact_counts, self._cost_model, self._max_source_prefix
+        )
+        return min(candidates, key=lambda plan: self._cost_model.plan_cost(plan, groups))
+
+    def naive_plan(
+        self,
+        groups: Sequence[FactGroup],
+        fact_counts: Mapping[FactGroup, int],
+    ) -> PruningPlan:
+        """The simple strategy used by the "G-P" variant.
+
+        It uses all fact groups for pruning in the order Algorithm 4
+        would consider them: the smallest group (fewest facts) is the
+        single pruning source, every other group is a pruning target,
+        ordered by the target-selection heuristic without discarding
+        specializations.
+        """
+        if len(groups) < 2:
+            return PruningPlan((), ())
+        ordered = sorted(groups, key=lambda g: (fact_counts.get(g, 1), g.dimensions))
+        sources = (ordered[0],)
+        rest = ordered[1:]
+        rest_set = set(rest)
+        targets = sorted(
+            rest,
+            key=lambda t: (-_target_value(t, sources, rest_set, self._cost_model), t.dimensions),
+        )
+        return PruningPlan(sources, tuple(targets))

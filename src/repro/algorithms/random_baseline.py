@@ -1,0 +1,37 @@
+"""Random fact selection.
+
+The user studies of Section VIII-C rank 100 randomly generated speeches
+by the utility model and compare the best, median and worst ones.  The
+:class:`RandomSummarizer` produces those random speeches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import Summarizer, SummarizerStatistics
+from repro.core.model import Speech
+from repro.core.problem import SummarizationProblem
+
+
+class RandomSummarizer(Summarizer):
+    """Select ``max_facts`` candidate facts uniformly at random."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    def _solve(self, problem: SummarizationProblem) -> tuple[Speech, SummarizerStatistics]:
+        stats = SummarizerStatistics()
+        count = min(problem.max_facts, len(problem.candidate_facts))
+        chosen = self._rng.sample(list(problem.candidate_facts), count)
+        stats.speeches_considered = 1
+        return Speech(chosen), stats
+
+    def sample_speeches(self, problem: SummarizationProblem, count: int) -> list[Speech]:
+        """Generate ``count`` independent random speeches for one problem."""
+        speeches = []
+        for _ in range(count):
+            speeches.append(self._solve(problem)[0])
+        return speeches

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+The CLI exposes the three workflows a user of the system goes through:
+
+* ``repro-voice datasets`` — list the bundled synthetic datasets
+  (Table I overview);
+* ``repro-voice preprocess`` — run the batch speech generation for a
+  dataset and write the resulting speech store to a JSON artifact;
+* ``repro-voice ask`` — answer one or more natural-language questions
+  against a dataset (pre-processing on the fly or from a saved
+  artifact);
+* ``repro-voice experiment`` — regenerate one of the paper's tables or
+  figures and print its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.datasets import available_datasets, dataset_overview, load_dataset
+from repro.experiments.runner import ExperimentResult, format_rows
+from repro.system.config import SummarizationConfig
+from repro.system.engine import VoiceQueryEngine
+from repro.system.persistence import save_store
+
+
+def _experiment_registry() -> dict[str, Callable[[], ExperimentResult]]:
+    """Named experiments runnable from the CLI (lazy imports keep startup fast)."""
+    from repro.experiments.ablations import (
+        run_exact_pruning_ablation,
+        run_greedy_ratio_ablation,
+        run_pruning_plan_ablation,
+    )
+    from repro.experiments.fig3_algorithms import run_figure3
+    from repro.experiments.fig4_scaling import run_figure4
+    from repro.experiments.fig5_ratings import run_figure5
+    from repro.experiments.fig6_estimation import run_figure6
+    from repro.experiments.fig7_conflict import run_figure7
+    from repro.experiments.fig8_interfaces import run_figure8
+    from repro.experiments.fig9_query_mix import run_figure9
+    from repro.experiments.fig10_latency import run_figure10
+    from repro.experiments.fig11_baseline_study import run_figure11
+    from repro.experiments.ml_baseline_study import run_ml_baseline
+    from repro.experiments.table1_datasets import run_table1
+    from repro.experiments.table2_speeches import run_table2
+    from repro.experiments.table3_requests import run_table3
+
+    return {
+        "table1": run_table1,
+        "table2": run_table2,
+        "table3": run_table3,
+        "figure3": run_figure3,
+        "figure4": run_figure4,
+        "figure5": run_figure5,
+        "figure6": run_figure6,
+        "figure7": run_figure7,
+        "figure8": run_figure8,
+        "figure9": run_figure9,
+        "figure10": run_figure10,
+        "figure11": run_figure11,
+        "ml_baseline": run_ml_baseline,
+        "ablation_exact_pruning": run_exact_pruning_ablation,
+        "ablation_pruning_plans": run_pruning_plan_ablation,
+        "ablation_greedy_ratio": run_greedy_ratio_ablation,
+    }
+
+
+def _build_engine(args: argparse.Namespace) -> VoiceQueryEngine:
+    dataset = load_dataset(args.dataset, num_rows=args.rows)
+    spec = dataset.spec
+    dimensions = tuple(args.dimensions) if args.dimensions else spec.dimensions
+    targets = tuple(args.targets) if args.targets else spec.targets
+    config = SummarizationConfig.create(
+        table=spec.key,
+        dimensions=dimensions,
+        targets=targets,
+        max_query_length=args.max_query_length,
+        max_facts_per_speech=args.facts,
+        max_fact_dimensions=args.fact_dimensions,
+        algorithm=args.algorithm,
+    )
+    return VoiceQueryEngine(
+        config, dataset.table, enable_advanced_queries=args.advanced
+    )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=available_datasets())
+    parser.add_argument("--rows", type=int, default=None, help="synthetic rows to generate")
+    parser.add_argument("--dimensions", nargs="*", default=None)
+    parser.add_argument("--targets", nargs="*", default=None)
+    parser.add_argument("--max-query-length", type=int, default=1, dest="max_query_length")
+    parser.add_argument("--facts", type=int, default=3, help="facts per speech")
+    parser.add_argument(
+        "--fact-dimensions", type=int, default=1, dest="fact_dimensions",
+        help="extra dimensions per fact",
+    )
+    parser.add_argument("--algorithm", default="G-O", help="summarizer name (e.g. G-B, G-O, E)")
+    parser.add_argument("--max-problems", type=int, default=None, dest="max_problems")
+    parser.add_argument(
+        "--advanced", action="store_true",
+        help="answer comparison/extremum questions via the extension",
+    )
+
+
+def command_datasets(_args: argparse.Namespace) -> int:
+    """List the synthetic datasets (Table I overview)."""
+    print(format_rows(dataset_overview()))
+    return 0
+
+
+def command_preprocess(args: argparse.Namespace) -> int:
+    """Pre-generate speeches for a dataset and save them to JSON."""
+    engine = _build_engine(args)
+    report = engine.preprocess(max_problems=args.max_problems)
+    print(
+        f"generated {report.speeches_generated} speeches in {report.total_seconds:.2f}s "
+        f"({report.per_query_seconds * 1000:.1f} ms per speech, "
+        f"avg scaled utility {report.average_scaled_utility:.3f})"
+    )
+    if args.output:
+        save_store(engine.store, args.output, engine.config)
+        print(f"speech store written to {args.output}")
+    return 0
+
+
+def command_ask(args: argparse.Namespace) -> int:
+    """Answer natural-language questions against a dataset."""
+    engine = _build_engine(args)
+    if args.store:
+        loaded = engine.load_speeches(args.store)
+        print(f"loaded {loaded} pre-generated speeches from {args.store}")
+    else:
+        engine.preprocess(max_problems=args.max_problems)
+    for question in args.question:
+        response = engine.ask(question)
+        print(f"user : {question}")
+        print(f"voice: {response.text}")
+    return 0
+
+
+def command_experiment(args: argparse.Namespace) -> int:
+    """Run one named experiment and print its rows."""
+    registry = _experiment_registry()
+    if args.name not in registry:
+        print(f"unknown experiment {args.name!r}; available: {', '.join(sorted(registry))}")
+        return 2
+    result = registry[args.name]()
+    print(result.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-voice",
+        description="Voice data summarization (ICDE 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list synthetic datasets")
+    datasets_parser.set_defaults(handler=command_datasets)
+
+    preprocess_parser = subparsers.add_parser(
+        "preprocess", help="pre-generate speeches for a dataset"
+    )
+    _add_engine_arguments(preprocess_parser)
+    preprocess_parser.add_argument("--output", default=None, help="JSON file for the speech store")
+    preprocess_parser.set_defaults(handler=command_preprocess)
+
+    ask_parser = subparsers.add_parser("ask", help="answer voice questions")
+    _add_engine_arguments(ask_parser)
+    ask_parser.add_argument("--store", default=None, help="load speeches from a JSON artifact")
+    ask_parser.add_argument("question", nargs="+", help="question text(s)")
+    ask_parser.set_defaults(handler=command_ask)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    experiment_parser.add_argument("name", help="experiment name, e.g. figure3 or table1")
+    experiment_parser.set_defaults(handler=command_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

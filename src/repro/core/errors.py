@@ -1,0 +1,14 @@
+"""Exceptions raised by the core problem model."""
+
+
+class CoreError(Exception):
+    """Base class for errors in the core problem model."""
+
+
+class InvalidFactError(CoreError):
+    """Raised when a fact references unknown dimensions or has no scope rows."""
+
+
+class InvalidProblemError(CoreError):
+    """Raised when a summarization problem instance is ill-formed
+    (e.g. no target column, non-positive speech length, empty relation)."""

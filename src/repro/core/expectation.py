@@ -1,0 +1,164 @@
+"""User expectation models.
+
+Definition 4 of the paper models how a listener combines the facts that
+are relevant to a row (i.e. whose scope contains the row) with their
+prior.  The paper's default — validated against crowd workers in
+Figure 7 — assumes users pick, among the typical values proposed by
+relevant facts plus the prior, the value *closest* to the truth
+("users often have prior knowledge allowing them to determine the most
+relevant fact among alternatives").  Figure 7 compares that model
+against three alternatives, all implemented here:
+
+* closest relevant value (paper default),
+* farthest relevant value (pessimistic),
+* average over relevant facts' values,
+* average over *all* facts' values (ignoring relevance).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import Fact, SummarizationRelation
+
+
+class ExpectationModel(abc.ABC):
+    """Computes E(F, r): per-row expected values after hearing facts F."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def expectations(
+        self,
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+        prior_values: np.ndarray,
+    ) -> np.ndarray:
+        """Expected target values, one per relation row.
+
+        ``prior_values`` provides the user's expectation in the absence
+        of relevant facts; it always participates in the candidate value
+        set (Definition 4: "The prior value is included in the set V_r
+        for any row").
+        """
+
+    # Helper shared by the concrete models -----------------------------------
+    @staticmethod
+    def _candidate_matrix(
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (values, relevance) for facts over rows.
+
+        ``values`` has shape (len(facts),): each fact's typical value.
+        ``relevance`` has shape (len(facts), num_rows): True where the
+        row is within the fact's scope.
+        """
+        n = relation.num_rows
+        if not facts:
+            return np.zeros((0,), dtype=float), np.zeros((0, n), dtype=bool)
+        values = np.array([fact.value for fact in facts], dtype=float)
+        relevance = np.zeros((len(facts), n), dtype=bool)
+        for k, fact in enumerate(facts):
+            relevance[k] = relation.scope_mask(fact.scope)
+        return values, relevance
+
+
+class ClosestRelevantFactModel(ExpectationModel):
+    """Users adopt the relevant value closest to the true value (paper default)."""
+
+    name = "closest"
+
+    def expectations(
+        self,
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+        prior_values: np.ndarray,
+    ) -> np.ndarray:
+        truth = relation.target_values
+        best = np.abs(prior_values - truth)
+        expected = prior_values.astype(float).copy()
+        values, relevance = self._candidate_matrix(relation, facts)
+        for k in range(len(values)):
+            deviation = np.abs(values[k] - truth)
+            improves = relevance[k] & (deviation < best)
+            expected[improves] = values[k]
+            best = np.minimum(best, np.where(relevance[k], deviation, np.inf))
+        return expected
+
+
+class FarthestRelevantFactModel(ExpectationModel):
+    """Users adopt the relevant value farthest from the true value (pessimistic)."""
+
+    name = "farthest"
+
+    def expectations(
+        self,
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+        prior_values: np.ndarray,
+    ) -> np.ndarray:
+        truth = relation.target_values
+        worst = np.abs(prior_values - truth)
+        expected = prior_values.astype(float).copy()
+        values, relevance = self._candidate_matrix(relation, facts)
+        for k in range(len(values)):
+            deviation = np.abs(values[k] - truth)
+            worsens = relevance[k] & (deviation > worst)
+            expected[worsens] = values[k]
+            worst = np.maximum(worst, np.where(relevance[k], deviation, -np.inf))
+        return expected
+
+
+class AverageOfScopeFactsModel(ExpectationModel):
+    """Users average the values of all facts relevant to the row."""
+
+    name = "avg_scope"
+
+    def expectations(
+        self,
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+        prior_values: np.ndarray,
+    ) -> np.ndarray:
+        values, relevance = self._candidate_matrix(relation, facts)
+        expected = prior_values.astype(float).copy()
+        if len(values) == 0:
+            return expected
+        counts = relevance.sum(axis=0)
+        sums = (relevance * values[:, None]).sum(axis=0)
+        has_relevant = counts > 0
+        expected[has_relevant] = sums[has_relevant] / counts[has_relevant]
+        return expected
+
+
+class AverageOfAllFactsModel(ExpectationModel):
+    """Users average the values of *all* facts heard, relevant or not."""
+
+    name = "avg_all"
+
+    def expectations(
+        self,
+        relation: SummarizationRelation,
+        facts: Sequence[Fact],
+        prior_values: np.ndarray,
+    ) -> np.ndarray:
+        expected = prior_values.astype(float).copy()
+        if not facts:
+            return expected
+        mean_value = float(np.mean([fact.value for fact in facts]))
+        return np.full(relation.num_rows, mean_value, dtype=float)
+
+
+def available_models() -> dict[str, ExpectationModel]:
+    """All expectation models compared in Figure 7, keyed by name."""
+    models = [
+        ClosestRelevantFactModel(),
+        FarthestRelevantFactModel(),
+        AverageOfScopeFactsModel(),
+        AverageOfAllFactsModel(),
+    ]
+    return {model.name: model for model in models}

@@ -1,0 +1,73 @@
+"""Speech summarization problem instances (Definition 7).
+
+A problem is a triple ⟨R, F, m⟩: a relation to summarize, a set of
+candidate facts, and the maximal number of facts per speech.  The
+:class:`SummarizationProblem` also carries the prior and expectation
+model so algorithms evaluate utility consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import InvalidProblemError
+from repro.core.expectation import ClosestRelevantFactModel, ExpectationModel
+from repro.core.model import Fact, SummarizationRelation
+from repro.core.priors import GlobalAveragePrior, Prior
+from repro.core.utility import UtilityEvaluator
+
+
+@dataclass
+class SummarizationProblem:
+    """An instance of the speech summarization problem.
+
+    Attributes
+    ----------
+    relation:
+        The relation (data subset) to summarize.
+    candidate_facts:
+        The facts F available for speech construction.
+    max_facts:
+        The maximal speech length m.
+    prior:
+        Prior expectation model (defaults to the global target average).
+    expectation_model:
+        User expectation model (defaults to closest relevant value).
+    label:
+        Optional identifier, used by the problem generator to record
+        which query the problem answers.
+    """
+
+    relation: SummarizationRelation
+    candidate_facts: Sequence[Fact]
+    max_facts: int
+    prior: Prior = field(default_factory=GlobalAveragePrior)
+    expectation_model: ExpectationModel = field(default_factory=ClosestRelevantFactModel)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_facts < 1:
+            raise InvalidProblemError(
+                f"max_facts must be at least 1, got {self.max_facts}"
+            )
+        if not self.candidate_facts:
+            raise InvalidProblemError("a problem requires at least one candidate fact")
+
+    def evaluator(self) -> UtilityEvaluator:
+        """Build a utility evaluator for this problem instance."""
+        return UtilityEvaluator(
+            self.relation,
+            prior=self.prior,
+            expectation_model=self.expectation_model,
+        )
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate facts (k in the complexity analysis)."""
+        return len(self.candidate_facts)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of relation rows (n in the complexity analysis)."""
+        return self.relation.num_rows

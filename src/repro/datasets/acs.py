@@ -1,0 +1,93 @@
+"""Synthetic ACS New York disability extract.
+
+The paper's ACS NY dataset has 3 dimensions and 6 targets (Table I) and
+is used for the A-H / A-V / A-C scenarios (hearing loss, visual
+impairment, cognitive impairment prevalence) and for the user studies
+of Figures 5, 6 and Table II (visual impairment by New York City
+borough and age group).
+
+Each synthetic row represents a small survey area; the targets are
+prevalence rates per 1,000 persons.  Effect sizes follow the values
+quoted in Table II of the paper: visual impairment around 80 per 1,000
+for elders, 17 for adults, 3 for teenagers, with mild borough effects —
+so the "best" speeches found by the algorithms resemble the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, SyntheticDataset, categorical_choice, make_rng
+from repro.relational.column import Column, ColumnType
+from repro.relational.table import Table
+
+BOROUGHS = ["Brooklyn", "Manhattan", "Queens", "Staten Island", "Bronx"]
+AGE_GROUPS = ["Teenagers", "Adults", "Elders"]
+SEXES = ["Female", "Male"]
+
+#: Borough-level multipliers (small effects compared to age).
+_BOROUGH_FACTOR = {
+    "Brooklyn": 1.10,
+    "Manhattan": 0.85,
+    "Queens": 1.00,
+    "Staten Island": 0.95,
+    "Bronx": 1.20,
+}
+
+#: Base prevalence per 1,000 by age group for each target column.
+_AGE_BASE = {
+    "visual_impairment": {"Teenagers": 4.0, "Adults": 17.0, "Elders": 80.0},
+    "hearing_impairment": {"Teenagers": 3.0, "Adults": 20.0, "Elders": 110.0},
+    "cognitive_impairment": {"Teenagers": 12.0, "Adults": 25.0, "Elders": 70.0},
+    "ambulatory_difficulty": {"Teenagers": 3.0, "Adults": 30.0, "Elders": 160.0},
+    "selfcare_difficulty": {"Teenagers": 2.0, "Adults": 10.0, "Elders": 55.0},
+    "independent_living_difficulty": {"Teenagers": 1.0, "Adults": 15.0, "Elders": 120.0},
+}
+
+SPEC = DatasetSpec(
+    key="acs",
+    title="ACS NY",
+    dimensions=("borough", "age_group", "sex"),
+    targets=tuple(_AGE_BASE),
+    default_target="visual_impairment",
+    paper_size="2 MB",
+    paper_dimensions=3,
+    paper_targets=6,
+)
+
+
+def generate_acs(num_rows: int = 900, seed: int = 20210318) -> SyntheticDataset:
+    """Generate the synthetic ACS NY dataset.
+
+    Parameters
+    ----------
+    num_rows:
+        Number of survey-area rows.
+    seed:
+        RNG seed (the default matches the other generators so that
+        experiment outputs are reproducible).
+    """
+    rng = make_rng(seed)
+    boroughs = categorical_choice(rng, BOROUGHS, num_rows, weights=[31, 19, 27, 6, 17])
+    ages = categorical_choice(rng, AGE_GROUPS, num_rows, weights=[18, 58, 24])
+    sexes = categorical_choice(rng, SEXES, num_rows)
+
+    target_columns = []
+    for target, base_by_age in _AGE_BASE.items():
+        values = []
+        for borough, age, sex in zip(boroughs, ages, sexes):
+            base = base_by_age[age] * _BOROUGH_FACTOR[borough]
+            if sex == "Male" and target == "hearing_impairment":
+                base *= 1.25
+            noise = rng.normal(0.0, 0.08 * base + 0.5)
+            values.append(max(0.0, base + noise))
+        target_columns.append(Column.numeric(target, values))
+
+    table = Table(
+        "acs_ny",
+        [
+            Column.categorical("borough", boroughs),
+            Column.categorical("age_group", ages),
+            Column.categorical("sex", sexes),
+            *target_columns,
+        ],
+    )
+    return SyntheticDataset(spec=SPEC, table=table, seed=seed)

@@ -1,0 +1,104 @@
+"""Synthetic flight delay / cancellation dataset.
+
+The paper's flight dataset (Kaggle "flight-delays", 565 MB, 6
+dimensions, 1 target) feeds the F-C (cancellation) and F-D (delay)
+scenarios, the public Google Assistant deployment, and the baseline
+comparison of Figure 11 (queries about flights overall, in the
+Northeast, and in the Northeast in Winter).
+
+The synthetic generator keeps the same dimensional structure —
+airline, origin region/state, destination region, season, time of day,
+day type — and plants the effects the paper's example speeches mention:
+cancellations increase markedly in February/Winter and are lower in the
+West; delays peak in Summer evenings.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, SyntheticDataset, categorical_choice, make_rng
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+AIRLINES = ["AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9"]
+REGIONS = ["Northeast", "South", "Midwest", "West"]
+SEASONS = ["Winter", "Spring", "Summer", "Fall"]
+MONTHS_BY_SEASON = {
+    "Winter": ["December", "January", "February"],
+    "Spring": ["March", "April", "May"],
+    "Summer": ["June", "July", "August"],
+    "Fall": ["September", "October", "November"],
+}
+TIMES_OF_DAY = ["Morning", "Afternoon", "Evening", "Night"]
+DAY_TYPES = ["Weekday", "Weekend"]
+
+_SEASON_CANCEL = {"Winter": 0.065, "Spring": 0.035, "Summer": 0.045, "Fall": 0.030}
+_REGION_CANCEL = {"Northeast": 1.35, "South": 1.00, "Midwest": 1.10, "West": 0.60}
+_MONTH_CANCEL_BOOST = {"February": 1.8, "January": 1.3, "December": 1.2}
+
+_SEASON_DELAY = {"Winter": 14.0, "Spring": 9.0, "Summer": 18.0, "Fall": 8.0}
+_REGION_DELAY = {"Northeast": 1.30, "South": 1.05, "Midwest": 1.00, "West": 0.80}
+_TIME_DELAY = {"Morning": 0.7, "Afternoon": 1.0, "Evening": 1.5, "Night": 1.1}
+
+SPEC = DatasetSpec(
+    key="flights",
+    title="Flights",
+    dimensions=("airline", "origin_region", "destination_region", "season", "month", "time_of_day"),
+    targets=("cancellation", "delay_minutes"),
+    default_target="cancellation",
+    paper_size="565 MB",
+    paper_dimensions=6,
+    paper_targets=1,
+)
+
+
+def generate_flights(num_rows: int = 3000, seed: int = 20210318) -> SyntheticDataset:
+    """Generate the synthetic flights dataset.
+
+    ``cancellation`` is a 0/1 indicator (its scope averages are the
+    cancellation probabilities the deployed system reports);
+    ``delay_minutes`` is a non-negative delay.
+    """
+    rng = make_rng(seed)
+    airlines = categorical_choice(rng, AIRLINES, num_rows, weights=[22, 20, 17, 18, 8, 6, 5, 4])
+    origins = categorical_choice(rng, REGIONS, num_rows, weights=[28, 30, 22, 20])
+    destinations = categorical_choice(rng, REGIONS, num_rows, weights=[26, 29, 22, 23])
+    seasons = categorical_choice(rng, SEASONS, num_rows)
+    months = [
+        MONTHS_BY_SEASON[season][int(rng.integers(0, 3))] for season in seasons
+    ]
+    times = categorical_choice(rng, TIMES_OF_DAY, num_rows, weights=[30, 28, 27, 15])
+    day_types = categorical_choice(rng, DAY_TYPES, num_rows, weights=[72, 28])
+
+    cancellations = []
+    delays = []
+    for airline, origin, season, month, tod in zip(airlines, origins, seasons, months, times):
+        cancel_probability = _SEASON_CANCEL[season] * _REGION_CANCEL[origin]
+        cancel_probability *= _MONTH_CANCEL_BOOST.get(month, 1.0)
+        cancel_probability = min(0.5, cancel_probability)
+        cancelled = 1.0 if rng.random() < cancel_probability else 0.0
+        cancellations.append(cancelled)
+
+        if cancelled:
+            delays.append(0.0)
+            continue
+        mean_delay = _SEASON_DELAY[season] * _REGION_DELAY[origin] * _TIME_DELAY[tod]
+        if airline in ("NK", "F9"):
+            mean_delay *= 1.3
+        delay = max(0.0, rng.normal(mean_delay, 0.6 * mean_delay + 2.0))
+        delays.append(delay)
+
+    table = Table(
+        "flights",
+        [
+            Column.categorical("airline", airlines),
+            Column.categorical("origin_region", origins),
+            Column.categorical("destination_region", destinations),
+            Column.categorical("season", seasons),
+            Column.categorical("month", months),
+            Column.categorical("time_of_day", times),
+            Column.categorical("day_type", day_types),
+            Column.numeric("cancellation", cancellations),
+            Column.numeric("delay_minutes", delays),
+        ],
+    )
+    return SyntheticDataset(spec=SPEC, table=table, seed=seed)

@@ -1,0 +1,84 @@
+"""Synthetic democratic-primaries polling dataset.
+
+The paper's primaries dataset (FiveThirtyEight, 6 MB, 5 dimensions,
+1 target) was publicly queryable for two months during the primary
+season.  The synthetic generator produces poll-result rows with the
+same dimensional structure: candidate, state region, month, poll type
+and population segment, with candidate support as the target.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, SyntheticDataset, categorical_choice, make_rng
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+CANDIDATES = ["Biden", "Sanders", "Warren", "Buttigieg", "Klobuchar", "Bloomberg"]
+STATE_REGIONS = ["Northeast", "South", "Midwest", "West"]
+MONTHS = ["November", "December", "January", "February", "March"]
+POLL_TYPES = ["Live phone", "Online", "IVR"]
+POPULATIONS = ["Likely voters", "Registered voters", "All adults"]
+
+_CANDIDATE_BASE = {
+    "Biden": 27.0,
+    "Sanders": 23.0,
+    "Warren": 14.0,
+    "Buttigieg": 10.0,
+    "Klobuchar": 5.0,
+    "Bloomberg": 8.0,
+}
+_REGION_EFFECT = {
+    ("Biden", "South"): 8.0,
+    ("Sanders", "West"): 6.0,
+    ("Warren", "Northeast"): 4.0,
+    ("Buttigieg", "Midwest"): 5.0,
+    ("Klobuchar", "Midwest"): 4.0,
+    ("Bloomberg", "South"): 2.0,
+}
+_MONTH_TREND = {
+    "Sanders": {"November": -3.0, "December": -1.0, "January": 1.0, "February": 4.0, "March": 2.0},
+    "Biden": {"November": 1.0, "December": 0.0, "January": -2.0, "February": -4.0, "March": 6.0},
+    "Bloomberg": {"November": -6.0, "December": -3.0, "January": 0.0, "February": 4.0, "March": -2.0},
+}
+
+SPEC = DatasetSpec(
+    key="primaries",
+    title="Primaries",
+    dimensions=("candidate", "state_region", "month", "poll_type", "population"),
+    targets=("support_percentage",),
+    default_target="support_percentage",
+    paper_size="6 MB",
+    paper_dimensions=5,
+    paper_targets=1,
+)
+
+
+def generate_primaries(num_rows: int = 2000, seed: int = 20210318) -> SyntheticDataset:
+    """Generate the synthetic primaries polling dataset."""
+    rng = make_rng(seed)
+    candidates = categorical_choice(rng, CANDIDATES, num_rows)
+    regions = categorical_choice(rng, STATE_REGIONS, num_rows, weights=[24, 32, 24, 20])
+    months = categorical_choice(rng, MONTHS, num_rows, weights=[15, 18, 22, 25, 20])
+    poll_types = categorical_choice(rng, POLL_TYPES, num_rows, weights=[35, 50, 15])
+    populations = categorical_choice(rng, POPULATIONS, num_rows, weights=[45, 40, 15])
+
+    support = []
+    for candidate, region, month in zip(candidates, regions, months):
+        value = _CANDIDATE_BASE[candidate]
+        value += _REGION_EFFECT.get((candidate, region), 0.0)
+        value += _MONTH_TREND.get(candidate, {}).get(month, 0.0)
+        value = max(0.5, rng.normal(value, 3.0))
+        support.append(min(value, 70.0))
+
+    table = Table(
+        "primaries",
+        [
+            Column.categorical("candidate", candidates),
+            Column.categorical("state_region", regions),
+            Column.categorical("month", months),
+            Column.categorical("poll_type", poll_types),
+            Column.categorical("population", populations),
+            Column.numeric("support_percentage", support),
+        ],
+    )
+    return SyntheticDataset(spec=SPEC, table=table, seed=seed)

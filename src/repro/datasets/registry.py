@@ -1,0 +1,76 @@
+"""Dataset registry and Table-I-style overview."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.acs import SPEC as ACS_SPEC, generate_acs
+from repro.datasets.base import DatasetSpec, SyntheticDataset
+from repro.datasets.flights import SPEC as FLIGHTS_SPEC, generate_flights
+from repro.datasets.primaries import SPEC as PRIMARIES_SPEC, generate_primaries
+from repro.datasets.stackoverflow import SPEC as STACKOVERFLOW_SPEC, generate_stackoverflow
+
+_GENERATORS: dict[str, Callable[..., SyntheticDataset]] = {
+    "acs": generate_acs,
+    "flights": generate_flights,
+    "stackoverflow": generate_stackoverflow,
+    "primaries": generate_primaries,
+}
+
+_SPECS: dict[str, DatasetSpec] = {
+    "acs": ACS_SPEC,
+    "flights": FLIGHTS_SPEC,
+    "stackoverflow": STACKOVERFLOW_SPEC,
+    "primaries": PRIMARIES_SPEC,
+}
+
+#: Default row counts per dataset, scaled so the full experiment suite
+#: runs on a laptop while preserving the relative dataset sizes of Table I.
+_DEFAULT_ROWS = {
+    "acs": 900,
+    "flights": 3000,
+    "stackoverflow": 4000,
+    "primaries": 2000,
+}
+
+
+def available_datasets() -> list[str]:
+    """Keys of all synthetic datasets."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(key: str, num_rows: int | None = None, seed: int = 20210318) -> SyntheticDataset:
+    """Generate a dataset by key ("acs", "flights", "stackoverflow", "primaries")."""
+    try:
+        generator = _GENERATORS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {key!r}; available: {available_datasets()}"
+        ) from None
+    rows = num_rows if num_rows is not None else _DEFAULT_ROWS[key]
+    return generator(num_rows=rows, seed=seed)
+
+
+def dataset_overview(num_rows: dict[str, int] | None = None) -> list[dict]:
+    """Rows of the Table I reproduction (dataset, size, #dims, #targets).
+
+    Both the paper-reported values and the synthetic-replica values are
+    included so the experiment harness can print them side by side.
+    """
+    overview = []
+    for key in available_datasets():
+        spec = _SPECS[key]
+        rows = (num_rows or {}).get(key, _DEFAULT_ROWS[key])
+        dataset = load_dataset(key, num_rows=rows)
+        overview.append(
+            {
+                "dataset": spec.title,
+                "paper_size": spec.paper_size,
+                "paper_dims": spec.paper_dimensions,
+                "paper_targets": spec.paper_targets,
+                "synthetic_rows": dataset.num_rows,
+                "synthetic_dims": len(spec.dimensions),
+                "synthetic_targets": len(spec.targets),
+            }
+        )
+    return overview

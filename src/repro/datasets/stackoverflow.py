@@ -1,0 +1,121 @@
+"""Synthetic Stack Overflow developer survey dataset.
+
+The paper's Stack Overflow dataset (2019 developer survey, 197 MB,
+7 dimensions, 6 targets) backs the S-C / S-O / S-S scenarios
+(competence, optimism, job satisfaction) and the visual-vs-voice user
+study of Figure 8.  This generator reproduces the schema shape: seven
+categorical dimensions with realistic domain sizes and six numeric
+targets on survey-style scales, with strong effects tied to experience,
+organisation size and employment status.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, SyntheticDataset, categorical_choice, make_rng
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+REGIONS = ["North America", "Europe", "Asia", "South America", "Africa", "Oceania"]
+DEV_TYPES = ["Backend", "Frontend", "Full-stack", "Mobile", "Data science", "DevOps", "Embedded"]
+EDUCATION = ["Self-taught", "Bachelor", "Master", "Doctorate"]
+EXPERIENCE = ["0-2 years", "3-5 years", "6-10 years", "11-20 years", "20+ years"]
+ORG_SIZES = ["1-19", "20-99", "100-499", "500-4999", "5000+"]
+GENDERS = ["Man", "Woman", "Non-binary"]
+EMPLOYMENT = ["Full-time", "Part-time", "Freelance", "Student"]
+
+_EXPERIENCE_RANK = {level: rank for rank, level in enumerate(EXPERIENCE)}
+
+SPEC = DatasetSpec(
+    key="stackoverflow",
+    title="Stack Overflow",
+    dimensions=(
+        "region",
+        "dev_type",
+        "education",
+        "experience",
+        "org_size",
+        "gender",
+        "employment",
+    ),
+    targets=(
+        "competence",
+        "optimism",
+        "job_satisfaction",
+        "salary_thousands",
+        "hours_per_week",
+        "remote_days",
+    ),
+    default_target="job_satisfaction",
+    paper_size="197 MB",
+    paper_dimensions=7,
+    paper_targets=6,
+)
+
+
+def generate_stackoverflow(num_rows: int = 4000, seed: int = 20210318) -> SyntheticDataset:
+    """Generate the synthetic developer-survey dataset."""
+    rng = make_rng(seed)
+    regions = categorical_choice(rng, REGIONS, num_rows, weights=[30, 34, 22, 7, 4, 3])
+    dev_types = categorical_choice(rng, DEV_TYPES, num_rows, weights=[20, 16, 28, 12, 10, 9, 5])
+    education = categorical_choice(rng, EDUCATION, num_rows, weights=[22, 48, 25, 5])
+    experience = categorical_choice(rng, EXPERIENCE, num_rows, weights=[22, 28, 26, 17, 7])
+    org_sizes = categorical_choice(rng, ORG_SIZES, num_rows, weights=[24, 24, 22, 18, 12])
+    genders = categorical_choice(rng, GENDERS, num_rows, weights=[88, 10, 2])
+    employment = categorical_choice(rng, EMPLOYMENT, num_rows, weights=[74, 8, 11, 7])
+
+    competence = []
+    optimism = []
+    satisfaction = []
+    salary = []
+    hours = []
+    remote = []
+    for region, dev, edu, exp, org, gender, emp in zip(
+        regions, dev_types, education, experience, org_sizes, genders, employment
+    ):
+        exp_rank = _EXPERIENCE_RANK[exp]
+        # Competence (1-10) grows with experience.
+        competence.append(_clip(rng.normal(4.5 + 1.1 * exp_rank, 1.0), 1.0, 10.0))
+        # Optimism (1-10) declines slightly with experience, higher for students.
+        base_optimism = 7.5 - 0.4 * exp_rank + (0.8 if emp == "Student" else 0.0)
+        optimism.append(_clip(rng.normal(base_optimism, 1.2), 1.0, 10.0))
+        # Job satisfaction (1-10) depends on org size and employment.
+        base_satisfaction = 6.0 + {"1-19": 0.6, "20-99": 0.4, "100-499": 0.0,
+                                   "500-4999": -0.2, "5000+": -0.4}[org]
+        base_satisfaction += {"Full-time": 0.3, "Part-time": -0.2,
+                              "Freelance": 0.5, "Student": -0.5}[emp]
+        satisfaction.append(_clip(rng.normal(base_satisfaction, 1.3), 1.0, 10.0))
+        # Salary (thousands, normalised) depends on region and experience.
+        region_base = {"North America": 95, "Europe": 65, "Asia": 35,
+                       "South America": 30, "Africa": 25, "Oceania": 75}[region]
+        salary.append(max(5.0, rng.normal(region_base + 9 * exp_rank, 18.0)))
+        # Working hours per week.
+        hours.append(_clip(rng.normal(41.0 + (2.0 if emp == "Freelance" else 0.0), 5.0), 5.0, 80.0))
+        # Remote days per week, higher for DevOps/Data science and freelancers.
+        base_remote = 1.4 + (1.2 if emp == "Freelance" else 0.0)
+        base_remote += 0.5 if dev in ("DevOps", "Data science") else 0.0
+        remote.append(_clip(rng.normal(base_remote, 1.0), 0.0, 5.0))
+
+    table = Table(
+        "stackoverflow",
+        [
+            Column.categorical("region", regions),
+            Column.categorical("dev_type", dev_types),
+            Column.categorical("education", education),
+            Column.categorical("experience", experience),
+            Column.categorical("org_size", org_sizes),
+            Column.categorical("gender", genders),
+            Column.categorical("employment", employment),
+            Column.numeric("competence", competence),
+            Column.numeric("optimism", optimism),
+            Column.numeric("job_satisfaction", satisfaction),
+            Column.numeric("salary_thousands", salary),
+            Column.numeric("hours_per_week", hours),
+            Column.numeric("remote_days", remote),
+        ],
+    )
+    return SyntheticDataset(spec=SPEC, table=table, seed=seed)
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the closed interval [low, high]."""
+    return max(low, min(high, value))

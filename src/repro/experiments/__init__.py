@@ -1,0 +1,13 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every module exposes a ``run_*`` function that executes the experiment
+on the synthetic datasets (scaled down so the whole suite runs on a
+laptop) and returns an :class:`ExperimentResult` whose rows mirror the
+rows/series of the corresponding table or figure.  The benchmark
+targets under ``benchmarks/`` are thin wrappers that call these
+functions and print the results.
+"""
+
+from repro.experiments.runner import ExperimentResult, format_rows
+
+__all__ = ["ExperimentResult", "format_rows"]

@@ -1,0 +1,129 @@
+"""Figure 10: run-time latency and per-query processing time vs the baseline.
+
+Our approach answers queries by looking up a pre-generated speech, so
+its run-time latency is tiny while pre-processing time is amortised
+over all queries.  The sampling baseline pays its (larger) processing
+cost at query time, though it can start speaking once the first
+sentence is chosen (latency < total time).  The experiment reports, for
+the Stack Overflow (S), Flights (F) and Primaries (P) datasets:
+
+* our run-time latency per query,
+* our pre-processing time per pre-generated speech,
+* the baseline's first-sentence latency and total per-query time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.sampling_baseline import SamplingBaselineSummarizer
+from repro.datasets import load_dataset
+from repro.experiments.runner import ExperimentResult
+from repro.system.config import SummarizationConfig
+from repro.system.engine import ResponseKind, VoiceQueryEngine
+from repro.system.problem_generator import ProblemGenerator
+
+#: Dataset label -> (dataset key, dimensions, targets) for Figure 10.
+FIGURE10_DATASETS = {
+    "S": (
+        "stackoverflow",
+        ("region", "dev_type", "experience"),
+        ("job_satisfaction",),
+        500,
+    ),
+    "F": (
+        "flights",
+        ("origin_region", "season", "time_of_day"),
+        ("cancellation",),
+        600,
+    ),
+    "P": (
+        "primaries",
+        ("candidate", "state_region", "month"),
+        ("support_percentage",),
+        500,
+    ),
+}
+
+
+def run_figure10(
+    queries_per_dataset: int = 10,
+    max_problems: int | None = 250,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Measure latency and processing time for our approach and the baseline."""
+    result = ExperimentResult(
+        name="figure10",
+        description="Average latency and per-query processing time vs sampling baseline",
+    )
+    rng = random.Random(seed)
+    baseline = SamplingBaselineSummarizer(seed=seed)
+
+    for label, (dataset_key, dimensions, targets, rows) in FIGURE10_DATASETS.items():
+        dataset = load_dataset(dataset_key, num_rows=rows)
+        config = SummarizationConfig.create(
+            table=dataset_key,
+            dimensions=dimensions,
+            targets=targets,
+            max_query_length=1,
+            max_facts_per_speech=3,
+            max_fact_dimensions=1,
+            algorithm="G-B",
+        )
+        engine = VoiceQueryEngine(config, dataset.table)
+        report = engine.preprocess(max_problems=max_problems)
+
+        # Sample supported queries from the store for the run-time measurement.
+        stored = list(engine.store)
+        rng.shuffle(stored)
+        sample = stored[:queries_per_dataset]
+
+        our_latency = 0.0
+        answered = 0
+        for entry in sample:
+            response = engine.answer_query(entry.query)
+            if response.kind is ResponseKind.SPEECH:
+                our_latency += response.latency_seconds
+                answered += 1
+        our_latency = our_latency / answered if answered else 0.0
+
+        # Baseline: solve the same queries at run time via sampling.
+        generator = ProblemGenerator(config, dataset.table)
+        baseline_latency = 0.0
+        baseline_total = 0.0
+        baseline_answered = 0
+        for entry in sample:
+            problem = generator.build_problem(entry.query)
+            if problem is None:
+                continue
+            summary = baseline.vocalize(problem)
+            baseline_latency += summary.first_sentence_latency
+            baseline_total += summary.total_time
+            baseline_answered += 1
+        if baseline_answered:
+            baseline_latency /= baseline_answered
+            baseline_total /= baseline_answered
+
+        result.add_row(
+            dataset=label,
+            speeches_pregenerated=report.speeches_generated,
+            preprocessing_total_s=report.total_seconds,
+            preprocessing_per_query_ms=report.per_query_seconds * 1000.0,
+            our_runtime_latency_ms=our_latency * 1000.0,
+            baseline_latency_ms=baseline_latency * 1000.0,
+            baseline_total_ms=baseline_total * 1000.0,
+        )
+    result.notes.append(
+        "our approach: latency is a store lookup; pre-processing cost is amortised "
+        "over all pre-generated speeches.  Baseline: sampling at query time"
+    )
+    return result
+
+
+def latency_advantage(result: ExperimentResult) -> dict[str, float]:
+    """Baseline latency divided by our run-time latency, per dataset."""
+    advantage = {}
+    for row in result.rows:
+        ours = max(row["our_runtime_latency_ms"], 1e-3)
+        advantage[row["dataset"]] = row["baseline_latency_ms"] / ours
+    return advantage

@@ -1,0 +1,79 @@
+"""Shared result container and plain-text table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment (table or figure reproduction).
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. "figure3" or "table1".
+    description:
+        What the experiment reproduces.
+    rows:
+        One dict per reported row / data point.
+    notes:
+        Free-form remarks (e.g. scaling factors applied).
+    """
+
+    name: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def column(self, key: str) -> list[Any]:
+        """All values of one column across rows."""
+        return [row.get(key) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the result as a plain-text report."""
+        header = f"== {self.name}: {self.description} =="
+        body = format_rows(self.rows)
+        notes = "\n".join(f"note: {note}" for note in self.notes)
+        parts = [header, body]
+        if notes:
+            parts.append(notes)
+        return "\n".join(part for part in parts if part)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_rows(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Format dict rows as an aligned text table (stable column order)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    lines = [header, separator]
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Random speech pools ranked by the quality model.
+
+The user studies of Section VIII-C start from 100 randomly generated
+speeches per dataset, ranked according to the utility model; the best,
+median and worst ranked speeches are then shown to crowd workers.  This
+helper builds that pool for a given relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.random_baseline import RandomSummarizer
+from repro.core.model import Speech, SummarizationRelation
+from repro.core.priors import ConstantPrior
+from repro.core.problem import SummarizationProblem
+from repro.core.utility import UtilityEvaluator
+from repro.facts.generation import FactGenerator
+from repro.system.queries import DataQuery
+from repro.system.templates import SpeechRealizer
+
+
+@dataclass
+class RankedSpeech:
+    """A speech with its rank information and rendered text."""
+
+    speech: Speech
+    scaled_utility: float
+    text: str
+    rank: int = 0
+
+
+@dataclass
+class SpeechPool:
+    """Best / median / worst speeches from a random pool."""
+
+    ranked: list[RankedSpeech]
+    problem: SummarizationProblem
+
+    @property
+    def best(self) -> RankedSpeech:
+        """Highest-ranked speech."""
+        return self.ranked[0]
+
+    @property
+    def median(self) -> RankedSpeech:
+        """Median-ranked speech."""
+        return self.ranked[len(self.ranked) // 2]
+
+    @property
+    def worst(self) -> RankedSpeech:
+        """Lowest-ranked speech."""
+        return self.ranked[-1]
+
+
+def build_speech_pool(
+    relation: SummarizationRelation,
+    target: str,
+    pool_size: int = 100,
+    max_facts: int = 3,
+    max_fact_dimensions: int = 2,
+    seed: int = 17,
+    realizer: SpeechRealizer | None = None,
+) -> SpeechPool:
+    """Generate ``pool_size`` random speeches and rank them by utility."""
+    realizer = realizer or SpeechRealizer()
+    generator = FactGenerator(relation, max_extra_dimensions=max_fact_dimensions)
+    generated = generator.generate()
+    prior = ConstantPrior(float(relation.target_values.mean()))
+    problem = SummarizationProblem(
+        relation=relation,
+        candidate_facts=generated.facts,
+        max_facts=max_facts,
+        prior=prior,
+        label=f"random pool over {target}",
+    )
+    evaluator = UtilityEvaluator(relation, prior=prior)
+    sampler = RandomSummarizer(seed=seed)
+    query = DataQuery.create(target, {})
+
+    ranked = []
+    for speech in sampler.sample_speeches(problem, pool_size):
+        scaled = evaluator.scaled_utility(speech)
+        text = realizer.realize(query, speech)
+        ranked.append(RankedSpeech(speech=speech, scaled_utility=scaled, text=text))
+    ranked.sort(key=lambda r: r.scaled_utility, reverse=True)
+    for position, entry in enumerate(ranked):
+        entry.rank = position + 1
+    return SpeechPool(ranked=ranked, problem=problem)

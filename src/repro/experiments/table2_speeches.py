@@ -1,0 +1,50 @@
+"""Table II: the worst-ranked vs the best-ranked speech for the ACS data.
+
+The paper prints both speech texts; the best speech leads with the
+strongest age-group fact ("About 80 out of 1000 elder persons identify
+as visually impaired...") while the worst speech wastes its facts on
+near-redundant borough averages.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.speech_pool import build_speech_pool
+from repro.system.templates import SpeechRealizer, TargetPhrasing
+
+
+def run_table2(rows: int = 400, pool_size: int = 100, seed: int = 17) -> ExperimentResult:
+    """Render the worst and best ranked ACS speeches as text."""
+    dataset = load_dataset("acs", num_rows=rows)
+    relation = dataset.relation("visual_impairment")
+    realizer = SpeechRealizer(
+        target_phrasings={
+            "visual_impairment": TargetPhrasing(
+                subject="the number of persons per 1000 who identify as visually impaired",
+                decimals=0,
+            )
+        }
+    )
+    pool = build_speech_pool(
+        relation,
+        "visual_impairment",
+        pool_size=pool_size,
+        seed=seed,
+        realizer=realizer,
+    )
+    result = ExperimentResult(
+        name="table2",
+        description="Comparing two alternative speech descriptions (ACS visual impairment)",
+    )
+    result.add_row(
+        speech="Worst",
+        scaled_utility=pool.worst.scaled_utility,
+        text=pool.worst.text,
+    )
+    result.add_row(
+        speech="Best",
+        scaled_utility=pool.best.scaled_utility,
+        text=pool.best.text,
+    )
+    return result

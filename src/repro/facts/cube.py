@@ -1,0 +1,178 @@
+"""Shared data-cube acceleration for batch fact generation.
+
+During pre-processing the problem generator enumerates thousands of
+overlapping queries over the same table (Section III): every query's
+candidate facts are averages over subsets defined by dimension-value
+combinations.  Recomputing those averages per query repeats work — the
+average of ``(season=Winter, region=East)`` is needed by the Winter
+query, the East query and the overall query alike.
+
+:class:`DataCube` materialises sum/count aggregates for every
+dimension-column combination up to a bounded arity once per (table,
+target) pair; :class:`CubeFactGenerator` then serves candidate facts
+for any base scope by slicing the cube, producing exactly the facts the
+per-query :class:`repro.facts.generation.FactGenerator` would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Mapping
+
+from repro.core.model import Fact, Scope, SummarizationRelation
+from repro.facts.generation import GeneratedFacts
+from repro.facts.groups import FactGroup
+
+
+@dataclass(frozen=True)
+class _CubeCell:
+    """Aggregates of one dimension-value combination."""
+
+    total: float
+    count: int
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count
+
+
+class DataCube:
+    """Sum/count aggregates for all column combinations up to ``max_arity``.
+
+    Cells are keyed by (sorted column tuple, value tuple in that order).
+    """
+
+    def __init__(self, relation: SummarizationRelation, max_arity: int):
+        if max_arity < 0:
+            raise ValueError("max_arity must be non-negative")
+        self._relation = relation
+        self._max_arity = min(max_arity, len(relation.dimensions))
+        self._cells: dict[tuple[tuple[str, ...], tuple[Any, ...]], _CubeCell] = {}
+        self._build()
+
+    def _build(self) -> None:
+        target = self._relation.target_values
+        dimensions = sorted(self._relation.dimensions)
+        for arity in range(0, self._max_arity + 1):
+            for columns in combinations(dimensions, arity):
+                groups = self._relation.group_rows_by(list(columns))
+                for values, indices in groups.items():
+                    if any(v is None for v in values):
+                        continue
+                    cell_values = target[indices]
+                    self._cells[(columns, values)] = _CubeCell(
+                        total=float(cell_values.sum()), count=int(indices.size)
+                    )
+
+    @property
+    def max_arity(self) -> int:
+        """Maximal number of restricted columns materialised."""
+        return self._max_arity
+
+    @property
+    def cell_count(self) -> int:
+        """Number of materialised cells."""
+        return len(self._cells)
+
+    def cell(self, assignments: Mapping[str, Any]) -> _CubeCell | None:
+        """The cell for ``assignments`` (None when empty or not materialised)."""
+        columns = tuple(sorted(assignments))
+        if len(columns) > self._max_arity:
+            return None
+        values = tuple(assignments[c] for c in columns)
+        return self._cells.get((columns, values))
+
+    def average(self, assignments: Mapping[str, Any]) -> tuple[float | None, int]:
+        """Average target value and support for a dimension-value combination."""
+        cell = self.cell(assignments)
+        if cell is None:
+            return None, 0
+        return cell.average, cell.count
+
+    def cells_for_columns(self, columns: tuple[str, ...]):
+        """Iterate (value tuple, cell) for one column combination."""
+        key_columns = tuple(sorted(columns))
+        for (cell_columns, values), cell in self._cells.items():
+            if cell_columns == key_columns:
+                yield values, cell
+
+
+class CubeFactGenerator:
+    """Serves candidate facts for any base scope from a shared data cube.
+
+    Parameters
+    ----------
+    relation:
+        The full relation (not pre-filtered to a query subset).
+    max_extra_dimensions:
+        Additional dimensions a fact may restrict beyond the base scope
+        (the paper's default is two).
+    max_base_dimensions:
+        Maximal number of base-scope predicates expected (the configured
+        query length); the cube materialises combinations up to
+        ``max_base_dimensions + max_extra_dimensions`` columns.
+    min_support:
+        Minimal rows per fact.
+    """
+
+    def __init__(
+        self,
+        relation: SummarizationRelation,
+        max_extra_dimensions: int = 2,
+        max_base_dimensions: int = 2,
+        min_support: int = 1,
+    ):
+        if max_extra_dimensions < 0 or max_base_dimensions < 0:
+            raise ValueError("dimension limits must be non-negative")
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self._relation = relation
+        self._max_extra = max_extra_dimensions
+        self._min_support = min_support
+        self._cube = DataCube(relation, max_base_dimensions + max_extra_dimensions)
+
+    @property
+    def cube(self) -> DataCube:
+        """The underlying data cube."""
+        return self._cube
+
+    def generate(self, base_scope: Mapping[str, Any] | Scope | None = None) -> GeneratedFacts:
+        """Candidate facts for one query's base scope, served from the cube."""
+        base = base_scope if isinstance(base_scope, Scope) else Scope(dict(base_scope or {}))
+        base_assignments = base.assignments
+        free_dimensions = sorted(
+            dim for dim in self._relation.dimensions if not base.restricts(dim)
+        )
+
+        facts: list[Fact] = []
+        by_group: dict[FactGroup, list[Fact]] = {}
+        for arity in range(0, self._max_extra + 1):
+            for extra_columns in combinations(free_dimensions, arity):
+                # Group keys follow FactGenerator's convention: the *extra*
+                # dimensions beyond the base scope identify the group.
+                group = FactGroup(extra_columns)
+                members = self._facts_for_columns(base_assignments, extra_columns)
+                if members:
+                    by_group[group] = members
+                    facts.extend(members)
+        return GeneratedFacts(facts=facts, by_group=by_group, base_scope=base)
+
+    def _facts_for_columns(
+        self,
+        base_assignments: dict[str, Any],
+        extra_columns: tuple[str, ...],
+    ) -> list[Fact]:
+        """Facts restricting the base columns plus exactly ``extra_columns``."""
+        all_columns = tuple(sorted(tuple(base_assignments) + extra_columns))
+        facts = []
+        for values, cell in self._cube.cells_for_columns(all_columns):
+            assignments = dict(zip(all_columns, values))
+            if any(assignments[c] != v for c, v in base_assignments.items()):
+                continue
+            if cell.count < self._min_support:
+                continue
+            facts.append(
+                Fact(scope=Scope(assignments), value=cell.average, support=cell.count)
+            )
+        return facts

@@ -1,0 +1,165 @@
+"""Candidate fact enumeration.
+
+Following Section III, the facts considered for summarizing the answer
+to a query are the averages of the target column over data subsets
+defined by the query's predicates plus up to ``max_extra_dimensions``
+additional equality predicates on the dimension columns, for every
+value combination that actually appears in the data subset.
+
+The generator also always includes the "overall" fact — the average
+over the whole data subset (no additional predicates) — which the
+paper's example speeches use ("It is 35 overall.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.model import Fact, Scope, SummarizationRelation
+from repro.facts.groups import FactGroup, enumerate_fact_groups
+
+
+@dataclass
+class GeneratedFacts:
+    """Result of candidate fact generation.
+
+    Attributes
+    ----------
+    facts:
+        All candidate facts.
+    by_group:
+        Facts keyed by their fact group (set of restricted *additional*
+        dimensions, excluding the fixed base-scope columns).
+    base_scope:
+        The scope shared by every candidate (the query's predicates).
+    """
+
+    facts: list[Fact]
+    by_group: dict[FactGroup, list[Fact]] = field(default_factory=dict)
+    base_scope: Scope = field(default_factory=Scope)
+
+    @property
+    def count(self) -> int:
+        """Number of candidate facts."""
+        return len(self.facts)
+
+    def groups(self) -> list[FactGroup]:
+        """Fact groups with at least one candidate fact."""
+        return list(self.by_group)
+
+    def facts_in_groups(self, groups: Sequence[FactGroup]) -> list[Fact]:
+        """Facts belonging to any of the given groups."""
+        wanted = set(groups)
+        out: list[Fact] = []
+        for group, members in self.by_group.items():
+            if group in wanted:
+                out.extend(members)
+        return out
+
+
+class FactGenerator:
+    """Enumerates candidate facts for one relation / data subset.
+
+    Parameters
+    ----------
+    relation:
+        The relation (already restricted to the query's data subset) to
+        generate facts for.
+    max_extra_dimensions:
+        Maximal number of additional dimension columns a fact may
+        restrict beyond the base scope (the paper's default is two).
+    min_support:
+        Minimal number of rows a fact's scope must cover; scopes with
+        fewer rows are skipped (they describe noise, not signal).
+    """
+
+    def __init__(
+        self,
+        relation: SummarizationRelation,
+        max_extra_dimensions: int = 2,
+        min_support: int = 1,
+    ):
+        if max_extra_dimensions < 0:
+            raise ValueError("max_extra_dimensions must be non-negative")
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self._relation = relation
+        self._max_extra = max_extra_dimensions
+        self._min_support = min_support
+
+    @property
+    def relation(self) -> SummarizationRelation:
+        """The relation facts are generated for."""
+        return self._relation
+
+    def generate(self, base_scope: Mapping[str, Any] | Scope | None = None) -> GeneratedFacts:
+        """Enumerate candidate facts.
+
+        ``base_scope`` fixes the query's own predicates: every candidate
+        fact includes them, and the additional predicates are placed on
+        the remaining ("free") dimension columns.
+        """
+        base = base_scope if isinstance(base_scope, Scope) else Scope(dict(base_scope or {}))
+        free_dimensions = [
+            dim for dim in self._relation.dimensions if not base.restricts(dim)
+        ]
+        groups = enumerate_fact_groups(
+            free_dimensions, max_arity=self._max_extra, include_empty=True
+        )
+
+        facts: list[Fact] = []
+        by_group: dict[FactGroup, list[Fact]] = {}
+        target = self._relation.target_values
+        base_indices = self._relation.scope_row_indices(base)
+
+        for group in groups:
+            members = self._facts_for_group(base, group, base_indices, target)
+            if members:
+                by_group[group] = members
+                facts.extend(members)
+        return GeneratedFacts(facts=facts, by_group=by_group, base_scope=base)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _facts_for_group(
+        self,
+        base: Scope,
+        group: FactGroup,
+        base_indices: np.ndarray,
+        target: np.ndarray,
+    ) -> list[Fact]:
+        """Facts restricting exactly the dimensions of ``group`` (plus base)."""
+        if base_indices.size == 0:
+            return []
+        if group.arity == 0:
+            values = target[base_indices]
+            if values.size < self._min_support:
+                return []
+            fact = Fact(scope=base, value=float(values.mean()), support=int(values.size))
+            return [fact]
+
+        # Group rows of the base subset by the group's dimension values.
+        groups_by_value = self._relation.group_rows_by(list(group.dimensions))
+        base_set = set(int(i) for i in base_indices)
+        facts: list[Fact] = []
+        for key, indices in groups_by_value.items():
+            if any(v is None for v in key):
+                continue
+            member_indices = [int(i) for i in indices if int(i) in base_set]
+            if len(member_indices) < self._min_support:
+                continue
+            assignments = dict(base.assignments)
+            assignments.update(dict(zip(group.dimensions, key)))
+            values = target[member_indices]
+            facts.append(
+                Fact(
+                    scope=Scope(assignments),
+                    value=float(values.mean()),
+                    support=len(member_indices),
+                )
+            )
+        return facts

@@ -1,0 +1,26 @@
+"""Machine-learning summarization baseline (Section VIII-E).
+
+The paper trains a sequence-to-sequence model (Simpletransformers on a
+GPU) on 49 pairs of (available facts, generated summary) for a single
+query template and tests on three held-out queries.  Pre-trained
+transformers are unavailable offline, so this package provides a
+lightweight substitute with the same interface and the same measured
+failure modes: a retrieval/template model that learns the surface form
+of summaries from the seed pairs and generates new summaries by filling
+the induced template with heuristically chosen facts.  The paper's
+qualitative findings — ML summaries are syntactically similar but tend
+to repeat dimensions and to focus on overly narrow data subsets — are
+what the evaluation module measures.
+"""
+
+from repro.mlbaseline.corpus import SummarizationExample, build_corpus
+from repro.mlbaseline.model import TemplateSeq2SeqModel
+from repro.mlbaseline.evaluation import MlComparisonResult, evaluate_against_reference
+
+__all__ = [
+    "SummarizationExample",
+    "build_corpus",
+    "TemplateSeq2SeqModel",
+    "MlComparisonResult",
+    "evaluate_against_reference",
+]

@@ -1,0 +1,96 @@
+"""Training corpus for the ML baseline.
+
+Each training example pairs an *input text* — an enumeration of the
+candidate facts available for a query (the "speech fragments" of the
+paper) — with the *output summary* our approach generated for the same
+query.  The corpus builder focuses on a single query template (all
+queries placing one predicate on the same dimension column), matching
+the paper's setup with the flight start-region dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.model import Fact
+from repro.system.queries import DataQuery
+from repro.system.speech_store import SpeechStore
+from repro.system.templates import SpeechRealizer
+
+
+@dataclass(frozen=True)
+class SummarizationExample:
+    """One (facts text, summary text) pair."""
+
+    query: DataQuery
+    input_text: str
+    output_text: str
+    candidate_facts: tuple[Fact, ...] = ()
+
+
+def facts_to_text(target: str, facts: Sequence[Fact], realizer: SpeechRealizer) -> str:
+    """Render a list of candidate facts as the model's input text."""
+    return " ".join(realizer.realize_fact(target, fact) for fact in facts)
+
+
+def build_corpus(
+    store: SpeechStore,
+    dimension: str,
+    target: str,
+    candidate_facts_per_query: dict[tuple, Sequence[Fact]],
+    realizer: SpeechRealizer | None = None,
+    max_facts_in_input: int = 12,
+) -> list[SummarizationExample]:
+    """Build the corpus for one query template.
+
+    Parameters
+    ----------
+    store:
+        Speech store filled during pre-processing (provides the output
+        summaries).
+    dimension:
+        The dimension column of the query template: only queries with a
+        single predicate on this column are included.
+    target:
+        The target column of the query template.
+    candidate_facts_per_query:
+        Candidate facts per query key (from the problem generator); the
+        input text enumerates (a prefix of) them.
+    realizer:
+        Speech realizer used to render facts as text.
+    max_facts_in_input:
+        Cap on the number of facts included in the input text.
+    """
+    realizer = realizer or SpeechRealizer()
+    examples: list[SummarizationExample] = []
+    for stored in store:
+        query = stored.query
+        if query.target != target or query.length != 1:
+            continue
+        (column, _value), = query.predicates
+        if column != dimension:
+            continue
+        candidates = tuple(candidate_facts_per_query.get(query.key(), ()))
+        prefix = candidates[:max_facts_in_input]
+        input_text = facts_to_text(target, prefix, realizer)
+        examples.append(
+            SummarizationExample(
+                query=query,
+                input_text=input_text,
+                output_text=stored.text,
+                candidate_facts=candidates,
+            )
+        )
+    return examples
+
+
+def split_corpus(
+    examples: Sequence[SummarizationExample],
+    test_size: int = 3,
+) -> tuple[list[SummarizationExample], list[SummarizationExample]]:
+    """Deterministic train/test split (last ``test_size`` examples held out)."""
+    examples = list(examples)
+    if len(examples) <= test_size:
+        return examples, []
+    return examples[:-test_size], examples[-test_size:]

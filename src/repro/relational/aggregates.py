@@ -1,0 +1,103 @@
+"""Aggregate functions for group-by queries.
+
+The summarization algorithms rely on SUM (utility aggregation), AVG
+(typical fact values), COUNT (group sizes for the cost model) and
+MIN/MAX (bounds).  Aggregates ignore NULL inputs, following SQL
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+def _non_null(values: Sequence[Any]) -> list[float]:
+    return [float(v) for v in values if v is not None]
+
+
+def aggregate_sum(values: Sequence[Any]) -> float:
+    """SUM over non-NULL values (0.0 for empty input, like SQL COALESCE(SUM,0))."""
+    present = _non_null(values)
+    return float(sum(present)) if present else 0.0
+
+
+def aggregate_avg(values: Sequence[Any]) -> float | None:
+    """AVG over non-NULL values; None when no values are present."""
+    present = _non_null(values)
+    if not present:
+        return None
+    return float(sum(present) / len(present))
+
+
+def aggregate_count(values: Sequence[Any]) -> int:
+    """COUNT of non-NULL values."""
+    return sum(1 for v in values if v is not None)
+
+
+def aggregate_count_star(values: Sequence[Any]) -> int:
+    """COUNT(*) — counts rows regardless of NULLs."""
+    return len(values)
+
+
+def aggregate_min(values: Sequence[Any]) -> float | None:
+    """MIN over non-NULL values; None when empty."""
+    present = _non_null(values)
+    return min(present) if present else None
+
+
+def aggregate_max(values: Sequence[Any]) -> float | None:
+    """MAX over non-NULL values; None when empty."""
+    present = _non_null(values)
+    return max(present) if present else None
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A single aggregate in a group-by query.
+
+    Attributes
+    ----------
+    function:
+        Callable mapping a sequence of input values to the aggregate.
+    input_column:
+        Name of the column whose values feed the aggregate.  ``None``
+        means COUNT(*)-style aggregation over whole rows.
+    output_column:
+        Name of the result column.
+    """
+
+    function: Callable[[Sequence[Any]], Any]
+    input_column: str | None
+    output_column: str
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        """Apply the aggregate function to the collected input values."""
+        return self.function(values)
+
+
+def SUM(input_column: str, output_column: str | None = None) -> AggregateSpec:
+    """SUM(input_column) AS output_column."""
+    return AggregateSpec(aggregate_sum, input_column, output_column or f"sum_{input_column}")
+
+
+def AVG(input_column: str, output_column: str | None = None) -> AggregateSpec:
+    """AVG(input_column) AS output_column."""
+    return AggregateSpec(aggregate_avg, input_column, output_column or f"avg_{input_column}")
+
+
+def COUNT(input_column: str | None = None, output_column: str | None = None) -> AggregateSpec:
+    """COUNT(input_column) or COUNT(*) when input_column is None."""
+    if input_column is None:
+        return AggregateSpec(aggregate_count_star, None, output_column or "count")
+    return AggregateSpec(aggregate_count, input_column, output_column or f"count_{input_column}")
+
+
+def MIN(input_column: str, output_column: str | None = None) -> AggregateSpec:
+    """MIN(input_column) AS output_column."""
+    return AggregateSpec(aggregate_min, input_column, output_column or f"min_{input_column}")
+
+
+def MAX(input_column: str, output_column: str | None = None) -> AggregateSpec:
+    """MAX(input_column) AS output_column."""
+    return AggregateSpec(aggregate_max, input_column, output_column or f"max_{input_column}")

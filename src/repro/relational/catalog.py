@@ -1,0 +1,115 @@
+"""Catalog statistics over registered tables.
+
+The paper's cost model (Section VI-C) consumes "query optimizer
+statistics": the number of distinct value combinations in subsets of
+dimension columns and table cardinalities.  The :class:`Catalog`
+maintains those statistics for the in-memory engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.relational.errors import UnknownTableError
+from repro.relational.table import Table
+
+
+@dataclass
+class TableStatistics:
+    """Statistics collected for one table.
+
+    Attributes
+    ----------
+    row_count:
+        Number of rows.
+    distinct_counts:
+        Per-column count of distinct non-NULL values.
+    null_counts:
+        Per-column count of NULL values.
+    """
+
+    row_count: int
+    distinct_counts: dict[str, int] = field(default_factory=dict)
+    null_counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_table(cls, table: Table) -> "TableStatistics":
+        """Collect statistics from ``table``."""
+        distinct = {c.name: c.distinct_count() for c in table.columns}
+        nulls = {c.name: c.null_count() for c in table.columns}
+        return cls(row_count=table.num_rows, distinct_counts=distinct, null_counts=nulls)
+
+    def distinct_count(self, column: str) -> int:
+        """Distinct count for a single column (0 when unknown)."""
+        return self.distinct_counts.get(column, 0)
+
+    def combination_count(self, columns: Sequence[str]) -> int:
+        """Estimated number of distinct value combinations over ``columns``.
+
+        Uses the standard independence assumption (product of per-column
+        distinct counts), capped by the row count.  The empty column set
+        has exactly one combination (the unrestricted scope).
+        """
+        if not columns:
+            return 1
+        estimate = 1
+        for col in columns:
+            estimate *= max(1, self.distinct_count(col))
+        return min(estimate, max(1, self.row_count))
+
+    def selectivity(self, columns: Sequence[str]) -> float:
+        """Estimated fraction of rows matching one value combination."""
+        combos = self.combination_count(columns)
+        return 1.0 / combos if combos else 1.0
+
+
+class Catalog:
+    """Registry of tables and their statistics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStatistics] = {}
+
+    def register(self, table: Table) -> None:
+        """Register (or replace) a table and refresh its statistics."""
+        self._tables[table.name] = table
+        self._stats[table.name] = TableStatistics.from_table(table)
+
+    def unregister(self, name: str) -> None:
+        """Remove a table from the catalog (no-op when absent)."""
+        self._tables.pop(name, None)
+        self._stats.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        """Return the registered table ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Return statistics for table ``name``."""
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"no statistics for table {name!r}; registered: {sorted(self._stats)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        """Return True when ``name`` is registered."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)
+
+    def refresh(self, names: Iterable[str] | None = None) -> None:
+        """Recompute statistics for the given tables (all when None)."""
+        targets = list(names) if names is not None else list(self._tables)
+        for name in targets:
+            table = self.table(name)
+            self._stats[name] = TableStatistics.from_table(table)

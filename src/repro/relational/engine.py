@@ -1,0 +1,96 @@
+"""Facade bundling tables, catalog statistics and cost estimation.
+
+The summarizer components take a :class:`RelationalEngine` where the
+paper's implementation would hold a database connection.  It offers the
+handful of query shapes the algorithms need (filter, group-by
+aggregation, scope joins) plus access to catalog statistics for the
+cost-based pruning optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.catalog import Catalog, TableStatistics
+from repro.relational.csvio import read_csv
+from repro.relational.expressions import Predicate
+from repro.relational.operators import group_by, project, scope_match_join, select
+from repro.relational.planner import CostEstimator
+from repro.relational.table import Table
+
+
+class RelationalEngine:
+    """A tiny in-memory stand-in for the relational DBMS of Figure 2."""
+
+    def __init__(self) -> None:
+        self._catalog = Catalog()
+        self._query_count = 0
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        """The engine's catalog (tables + statistics)."""
+        return self._catalog
+
+    @property
+    def query_count(self) -> int:
+        """Number of query-shaped operations executed (for diagnostics)."""
+        return self._query_count
+
+    def register_table(self, table: Table) -> None:
+        """Register a table so it can be referenced by name."""
+        self._catalog.register(table)
+
+    def load_csv(self, path: str, name: str | None = None, **kwargs) -> Table:
+        """Load a CSV file and register the resulting table."""
+        table = read_csv(path, name=name, **kwargs)
+        self.register_table(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        """Fetch a registered table by name."""
+        return self._catalog.table(name)
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Fetch statistics for a registered table."""
+        return self._catalog.statistics(name)
+
+    def cost_estimator(self, name: str, tuple_cost: float = 1.0) -> CostEstimator:
+        """Build a cost estimator over the statistics of table ``name``."""
+        return CostEstimator(self.statistics(name), tuple_cost=tuple_cost)
+
+    # ------------------------------------------------------------------
+    # Query shapes used by the summarizer
+    # ------------------------------------------------------------------
+    def filter(self, table: Table, predicate: Predicate) -> Table:
+        """σ — filter rows of a table."""
+        self._query_count += 1
+        return select(table, predicate)
+
+    def aggregate(
+        self,
+        table: Table,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> Table:
+        """Γ — group-by aggregation."""
+        self._query_count += 1
+        return group_by(table, keys, aggregates)
+
+    def project(self, table: Table, columns: Sequence[str], distinct: bool = False) -> Table:
+        """Π — projection."""
+        self._query_count += 1
+        return project(table, columns, distinct=distinct)
+
+    def scope_join(
+        self,
+        data: Table,
+        facts: Table,
+        dimension_columns: Sequence[str],
+    ) -> Table:
+        """⋈M — join data rows with facts whose scope contains them."""
+        self._query_count += 1
+        return scope_match_join(data, facts, dimension_columns)

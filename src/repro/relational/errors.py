@@ -1,0 +1,24 @@
+"""Exceptions raised by the relational substrate."""
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """Raised when an operation references columns that do not exist or
+    when column definitions are inconsistent (duplicate names, mismatched
+    lengths, incompatible types)."""
+
+
+class TypeMismatchError(RelationalError):
+    """Raised when a value is inserted into or compared against a column
+    of an incompatible type."""
+
+
+class UnknownTableError(RelationalError):
+    """Raised when the engine is asked for a table it does not know."""
+
+
+class EmptyTableError(RelationalError):
+    """Raised when an operation requires a non-empty table."""

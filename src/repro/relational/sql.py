@@ -1,0 +1,252 @@
+"""A minimal SQL layer over the in-memory engine.
+
+The paper's implementation "executes the algorithm by issuing a series
+of SQL queries".  The reproduction expresses the algorithms through the
+operator API directly, but a small SQL surface is still useful: it lets
+examples and tests phrase the same queries the paper's implementation
+would issue, and it documents the exact query shapes the summarizer
+needs.  The dialect is intentionally tiny:
+
+    SELECT <projection> FROM <table>
+    [WHERE <cond> [AND <cond>]...]
+    [GROUP BY <col> [, <col>]...]
+    [ORDER BY <col> [DESC]]
+    [LIMIT <n>]
+
+where a projection item is a column name, ``*``, or an aggregate
+``SUM(col) [AS name]`` / ``AVG`` / ``COUNT`` / ``MIN`` / ``MAX``
+(``COUNT(*)`` included), and a condition is ``col = value``,
+``col != value``, ``col < value``, ``col <= value``, ``col > value``,
+``col >= value`` or ``col IS [NOT] NULL``.  String literals use single
+quotes; everything else is parsed as a number.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.aggregates import AVG, COUNT, MAX, MIN, SUM, AggregateSpec
+from repro.relational.errors import RelationalError
+from repro.relational.expressions import (
+    AndPredicate,
+    ComparisonPredicate,
+    EqualsPredicate,
+    IsNullPredicate,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.operators import group_by, project, select
+from repro.relational.table import Table
+
+
+class SqlSyntaxError(RelationalError):
+    """Raised when a query string cannot be parsed."""
+
+
+_AGGREGATE_FACTORIES = {"SUM": SUM, "AVG": AVG, "COUNT": COUNT, "MIN": MIN, "MAX": MAX}
+
+_AGGREGATE_RE = re.compile(
+    r"^(?P<fn>SUM|AVG|COUNT|MIN|MAX)\s*\(\s*(?P<arg>\*|[A-Za-z_][A-Za-z_0-9]*)\s*\)"
+    r"(?:\s+AS\s+(?P<alias>[A-Za-z_][A-Za-z_0-9]*))?$",
+    re.IGNORECASE,
+)
+_CONDITION_RE = re.compile(
+    r"^(?P<col>[A-Za-z_][A-Za-z_0-9]*)\s*"
+    r"(?P<op>>=|<=|!=|=|<|>|\s+IS\s+NOT\s+NULL|\s+IS\s+NULL)\s*"
+    r"(?P<value>.*)$",
+    re.IGNORECASE,
+)
+_CLAUSE_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<table>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?"
+    r"(?:\s+ORDER\s+BY\s+(?P<order>.+?))?"
+    r"(?:\s+LIMIT\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+@dataclass
+class ParsedQuery:
+    """Structured form of a parsed SELECT statement."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+    select_all: bool = False
+    predicate: Predicate = field(default_factory=TruePredicate)
+    group_by: list[str] = field(default_factory=list)
+    order_by: str | None = None
+    order_descending: bool = False
+    limit: int | None = None
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True when the query computes aggregates (with or without GROUP BY)."""
+        return bool(self.aggregates)
+
+
+def _parse_literal(raw: str) -> Any:
+    raw = raw.strip()
+    if not raw:
+        raise SqlSyntaxError("missing literal value")
+    if raw[0] == "'" and raw[-1] == "'" and len(raw) >= 2:
+        return raw[1:-1]
+    lowered = raw.lower()
+    if lowered == "null":
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise SqlSyntaxError(f"cannot parse literal {raw!r}") from exc
+    return int(value) if value.is_integer() and "." not in raw else value
+
+
+def _parse_condition(fragment: str) -> Predicate:
+    fragment = fragment.strip()
+    match = _CONDITION_RE.match(fragment)
+    if not match:
+        raise SqlSyntaxError(f"cannot parse condition {fragment!r}")
+    column = match.group("col")
+    operator = match.group("op").strip().upper()
+    value_text = match.group("value").strip()
+    if operator == "IS NULL":
+        return IsNullPredicate(column)
+    if operator == "IS NOT NULL":
+        return IsNullPredicate(column, negate=True)
+    value = _parse_literal(value_text)
+    if operator == "=":
+        return EqualsPredicate(column, value)
+    # "!=" uses ComparisonPredicate so that NULLs never match (SQL's
+    # three-valued logic treats NULL != x as unknown).
+    return ComparisonPredicate(column, operator, value)
+
+
+def _parse_where(clause: str | None) -> Predicate:
+    if not clause:
+        return TruePredicate()
+    fragments = re.split(r"\s+AND\s+", clause.strip(), flags=re.IGNORECASE)
+    predicates = [_parse_condition(fragment) for fragment in fragments]
+    if len(predicates) == 1:
+        return predicates[0]
+    return AndPredicate(predicates)
+
+
+def _parse_select_items(clause: str) -> tuple[list[str], list[AggregateSpec], bool]:
+    columns: list[str] = []
+    aggregates: list[AggregateSpec] = []
+    select_all = False
+    for raw_item in clause.split(","):
+        item = raw_item.strip()
+        if not item:
+            raise SqlSyntaxError("empty select item")
+        if item == "*":
+            select_all = True
+            continue
+        match = _AGGREGATE_RE.match(item)
+        if match:
+            factory = _AGGREGATE_FACTORIES[match.group("fn").upper()]
+            argument = match.group("arg")
+            alias = match.group("alias")
+            if argument == "*":
+                if factory is not COUNT:
+                    raise SqlSyntaxError(f"{match.group('fn')}(*) is not supported")
+                aggregates.append(COUNT(None, alias))
+            else:
+                aggregates.append(factory(argument, alias))
+            continue
+        if not re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", item):
+            raise SqlSyntaxError(f"cannot parse select item {item!r}")
+        columns.append(item)
+    return columns, aggregates, select_all
+
+
+def parse_sql(query: str) -> ParsedQuery:
+    """Parse a SELECT statement into a :class:`ParsedQuery`."""
+    match = _CLAUSE_RE.match(query)
+    if not match:
+        raise SqlSyntaxError(f"cannot parse query {query!r}")
+    columns, aggregates, select_all = _parse_select_items(match.group("select"))
+    group_columns = []
+    if match.group("group"):
+        group_columns = [col.strip() for col in match.group("group").split(",") if col.strip()]
+    order_by = None
+    descending = False
+    if match.group("order"):
+        order_clause = match.group("order").strip()
+        parts = order_clause.split()
+        order_by = parts[0]
+        if len(parts) > 1:
+            direction = parts[1].upper()
+            if direction not in ("ASC", "DESC"):
+                raise SqlSyntaxError(f"cannot parse ORDER BY direction {parts[1]!r}")
+            descending = direction == "DESC"
+    limit = int(match.group("limit")) if match.group("limit") else None
+    return ParsedQuery(
+        table=match.group("table"),
+        columns=columns,
+        aggregates=aggregates,
+        select_all=select_all,
+        predicate=_parse_where(match.group("where")),
+        group_by=group_columns,
+        order_by=order_by,
+        order_descending=descending,
+        limit=limit,
+    )
+
+
+def execute_sql(query: str, tables: dict[str, Table] | Table) -> Table:
+    """Parse and execute a SELECT statement.
+
+    ``tables`` is either a mapping of table names to tables or a single
+    table (whose name must match the FROM clause).
+    """
+    parsed = parse_sql(query)
+    if isinstance(tables, Table):
+        available = {tables.name: tables}
+    else:
+        available = dict(tables)
+    if parsed.table not in available:
+        raise RelationalError(
+            f"unknown table {parsed.table!r}; available: {sorted(available)}"
+        )
+    table = available[parsed.table]
+
+    result = select(table, parsed.predicate)
+    if parsed.is_aggregation or parsed.group_by:
+        keys = parsed.group_by or []
+        result = group_by(result, keys, parsed.aggregates, name=f"{parsed.table}_agg")
+    elif not parsed.select_all:
+        result = project(result, parsed.columns, name=f"{parsed.table}_proj")
+    elif parsed.columns:
+        # "SELECT *, extra" is not supported; '*' must stand alone.
+        raise SqlSyntaxError("'*' cannot be combined with explicit columns")
+
+    if parsed.order_by is not None:
+        result = result.sorted_by(parsed.order_by, descending=parsed.order_descending)
+    if parsed.limit is not None:
+        result = result.head(parsed.limit)
+    return result
+
+
+class SqlSession:
+    """Convenience wrapper binding a set of tables for repeated queries."""
+
+    def __init__(self, tables: dict[str, Table] | None = None):
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def register(self, table: Table) -> None:
+        """Make ``table`` queryable under its name."""
+        self._tables[table.name] = table
+
+    def query(self, sql: str) -> Table:
+        """Execute a SELECT statement against the registered tables."""
+        return execute_sql(sql, self._tables)
+
+    def tables(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)

@@ -1,0 +1,54 @@
+"""End-to-end voice querying system (Figure 2 of the paper).
+
+Pre-processing: a :class:`SummarizationConfig` describes the table, its
+dimensions and targets, and the maximal query length.  The
+:class:`ProblemGenerator` enumerates one speech summarization problem
+per (target, predicate-combination) pair; the :class:`Preprocessor`
+solves them with a chosen algorithm and fills the :class:`SpeechStore`.
+
+Run time: the :class:`NaturalLanguageParser` extracts a target column
+and equality predicates from the voice transcript, the store returns
+the most specific pre-generated speech containing the queried subset,
+and the :class:`SpeechRealizer` renders it as text for voice output.
+:class:`VoiceQueryEngine` wires all of this together.
+"""
+
+from repro.system.config import SummarizationConfig
+from repro.system.queries import DataQuery
+from repro.system.problem_generator import GeneratedProblem, ProblemGenerator
+from repro.system.templates import SpeechRealizer
+from repro.system.speech_store import SpeechStore, StoredSpeech
+from repro.system.preprocessor import Preprocessor, PreprocessingReport
+from repro.system.nlq import NaturalLanguageParser, ParsedRequest
+from repro.system.classification import RequestType, classify_request
+from repro.system.engine import VoiceQueryEngine, VoiceResponse
+from repro.system.deployment import DeploymentSimulator, QueryLogEntry
+from repro.system.persistence import load_store, save_store
+from repro.system.advanced import ComparisonAnswerer, ExtremumAnswerer
+from repro.system.updates import IncrementalMaintainer, MaintenanceReport
+
+__all__ = [
+    "SummarizationConfig",
+    "DataQuery",
+    "ProblemGenerator",
+    "GeneratedProblem",
+    "SpeechRealizer",
+    "SpeechStore",
+    "StoredSpeech",
+    "Preprocessor",
+    "PreprocessingReport",
+    "NaturalLanguageParser",
+    "ParsedRequest",
+    "RequestType",
+    "classify_request",
+    "VoiceQueryEngine",
+    "VoiceResponse",
+    "DeploymentSimulator",
+    "QueryLogEntry",
+    "save_store",
+    "load_store",
+    "ComparisonAnswerer",
+    "ExtremumAnswerer",
+    "IncrementalMaintainer",
+    "MaintenanceReport",
+]

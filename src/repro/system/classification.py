@@ -1,0 +1,113 @@
+"""Request classification for deployment analysis (Table III, Figure 9).
+
+The paper classifies logged voice requests into help requests, repeat
+requests, supported data-access queries, unsupported data-access
+queries, and other requests; data-access queries are further broken
+down by number of predicates and by type (retrieval, comparison,
+extremum).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.system.config import SummarizationConfig
+from repro.system.nlq import ParsedRequest, RequestKind
+
+
+class RequestType(Enum):
+    """Categories used in Table III."""
+
+    HELP = "Help"
+    REPEAT = "Repeat"
+    SUPPORTED_QUERY = "S-Query"
+    UNSUPPORTED_QUERY = "U-Query"
+    OTHER = "Other"
+
+
+class QueryShape(Enum):
+    """Data-access query types used in Figure 9(b)."""
+
+    RETRIEVAL = "retrieval"
+    COMPARISON = "comparison"
+    EXTREMUM = "extremum"
+
+
+def classify_request(parsed: ParsedRequest, config: SummarizationConfig) -> RequestType:
+    """Map a parsed request to its Table III category.
+
+    A data-access query is *supported* when it asks for a configured
+    target with equality predicates on configured dimensions; the
+    run-time matcher answers queries longer than the pre-processed
+    length with the most specific containing subset, so length does not
+    make a query unsupported.  Comparisons, extrema and queries over
+    unavailable columns are *unsupported* (matching the examples the
+    paper lists for its deployment logs).
+    """
+    if parsed.kind is RequestKind.HELP:
+        return RequestType.HELP
+    if parsed.kind is RequestKind.REPEAT:
+        return RequestType.REPEAT
+    if parsed.kind in (RequestKind.COMPARISON, RequestKind.EXTREMUM):
+        return RequestType.UNSUPPORTED_QUERY
+    if parsed.kind is RequestKind.QUERY and parsed.query is not None:
+        query = parsed.query
+        if query.target not in config.targets:
+            return RequestType.UNSUPPORTED_QUERY
+        if any(column not in config.dimensions for column, _ in query.predicates):
+            return RequestType.UNSUPPORTED_QUERY
+        return RequestType.SUPPORTED_QUERY
+    return RequestType.OTHER
+
+
+def query_shape(parsed: ParsedRequest) -> QueryShape | None:
+    """The Figure 9(b) shape of a data-access request (None for non-queries)."""
+    if parsed.kind is RequestKind.QUERY:
+        return QueryShape.RETRIEVAL
+    if parsed.kind is RequestKind.COMPARISON:
+        return QueryShape.COMPARISON
+    if parsed.kind is RequestKind.EXTREMUM:
+        return QueryShape.EXTREMUM
+    return None
+
+
+@dataclass
+class RequestAnalysis:
+    """Aggregated request statistics for one deployment log.
+
+    ``by_type`` reproduces a Table III column; ``by_predicate_count``
+    and ``by_shape`` reproduce Figures 9(a) and 9(b).
+    """
+
+    by_type: Counter = field(default_factory=Counter)
+    by_predicate_count: Counter = field(default_factory=Counter)
+    by_shape: Counter = field(default_factory=Counter)
+    total: int = 0
+
+    def as_table_row(self) -> dict[str, int]:
+        """Counts in Table III order."""
+        return {
+            request_type.value: self.by_type.get(request_type, 0)
+            for request_type in RequestType
+        }
+
+
+def analyse_requests(
+    parsed_requests: Iterable[ParsedRequest],
+    config: SummarizationConfig,
+) -> RequestAnalysis:
+    """Classify a batch of parsed requests (one deployment's log)."""
+    analysis = RequestAnalysis()
+    for parsed in parsed_requests:
+        analysis.total += 1
+        request_type = classify_request(parsed, config)
+        analysis.by_type[request_type] += 1
+        shape = query_shape(parsed)
+        if shape is not None:
+            analysis.by_shape[shape] += 1
+            if parsed.query is not None and shape is QueryShape.RETRIEVAL:
+                analysis.by_predicate_count[parsed.query.length] += 1
+    return analysis

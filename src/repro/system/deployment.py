@@ -1,0 +1,181 @@
+"""Deployment simulation: synthetic voice-request logs.
+
+The paper analyses the last 50 requests of three public Google
+Assistant deployments (Table III) and classifies data-access queries by
+predicate count and by type (Figure 9).  Real logs are unavailable, so
+this module simulates a deployment: it draws a request mix matching the
+paper's observed proportions, renders each request as natural-language
+text over the configured dataset, and optionally feeds the requests to
+a :class:`VoiceQueryEngine` so the full run-time path is exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.relational.table import Table
+from repro.system.classification import RequestType
+from repro.system.config import SummarizationConfig
+from repro.system.engine import VoiceQueryEngine, VoiceResponse
+
+
+#: Request-type mix observed in the paper (Table III), per deployment.
+PAPER_REQUEST_MIX: dict[str, dict[RequestType, int]] = {
+    "primaries": {
+        RequestType.HELP: 17,
+        RequestType.REPEAT: 3,
+        RequestType.SUPPORTED_QUERY: 16,
+        RequestType.UNSUPPORTED_QUERY: 1,
+        RequestType.OTHER: 13,
+    },
+    "flights": {
+        RequestType.HELP: 9,
+        RequestType.REPEAT: 0,
+        RequestType.SUPPORTED_QUERY: 12,
+        RequestType.UNSUPPORTED_QUERY: 5,
+        RequestType.OTHER: 24,
+    },
+    "developers": {
+        RequestType.HELP: 4,
+        RequestType.REPEAT: 0,
+        RequestType.SUPPORTED_QUERY: 13,
+        RequestType.UNSUPPORTED_QUERY: 16,
+        RequestType.OTHER: 17,
+    },
+}
+
+#: Predicate-count mix for retrieval queries (Figure 9(a)): most queries
+#: use a single predicate.
+PAPER_PREDICATE_MIX: dict[int, int] = {0: 15, 1: 47, 2: 1}
+
+_HELP_TEXTS = [
+    "help",
+    "what can I ask you",
+    "how do I use this",
+    "what can you do",
+]
+_REPEAT_TEXTS = [
+    "repeat that please",
+    "can you say that again",
+]
+_OTHER_TEXTS = [
+    "thank you",
+    "stop",
+    "play some music",
+    "good morning",
+    "never mind",
+]
+
+
+@dataclass
+class QueryLogEntry:
+    """One simulated voice request with its ground-truth category."""
+
+    text: str
+    intended_type: RequestType
+    predicates: int = 0
+    response: VoiceResponse | None = None
+
+
+@dataclass
+class DeploymentSimulator:
+    """Generates and (optionally) replays synthetic request logs.
+
+    Parameters
+    ----------
+    config:
+        Summarization configuration of the deployment.
+    table:
+        The deployed data table (provides predicate values).
+    seed:
+        RNG seed for reproducible logs.
+    """
+
+    config: SummarizationConfig
+    table: Table
+    seed: int = 11
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Log generation
+    # ------------------------------------------------------------------
+    def generate_log(
+        self,
+        request_mix: dict[RequestType, int] | None = None,
+        deployment: str = "flights",
+    ) -> list[QueryLogEntry]:
+        """Generate one log following ``request_mix`` (paper mix by default)."""
+        mix = request_mix or PAPER_REQUEST_MIX.get(deployment, PAPER_REQUEST_MIX["flights"])
+        entries: list[QueryLogEntry] = []
+        for request_type, count in mix.items():
+            for _ in range(count):
+                entries.append(self._generate_entry(request_type))
+        self._rng.shuffle(entries)
+        return entries
+
+    def replay(self, engine: VoiceQueryEngine, log: Sequence[QueryLogEntry]) -> list[QueryLogEntry]:
+        """Send every log entry to the engine and attach the responses."""
+        replayed = []
+        for entry in log:
+            response = engine.ask(entry.text)
+            replayed.append(
+                QueryLogEntry(
+                    text=entry.text,
+                    intended_type=entry.intended_type,
+                    predicates=entry.predicates,
+                    response=response,
+                )
+            )
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Request text construction
+    # ------------------------------------------------------------------
+    def _generate_entry(self, request_type: RequestType) -> QueryLogEntry:
+        if request_type is RequestType.HELP:
+            return QueryLogEntry(self._rng.choice(_HELP_TEXTS), request_type)
+        if request_type is RequestType.REPEAT:
+            return QueryLogEntry(self._rng.choice(_REPEAT_TEXTS), request_type)
+        if request_type is RequestType.OTHER:
+            return QueryLogEntry(self._rng.choice(_OTHER_TEXTS), request_type)
+        if request_type is RequestType.SUPPORTED_QUERY:
+            return self._supported_query_entry()
+        return self._unsupported_query_entry()
+
+    def _supported_query_entry(self) -> QueryLogEntry:
+        predicate_counts = list(PAPER_PREDICATE_MIX)
+        weights = [PAPER_PREDICATE_MIX[c] for c in predicate_counts]
+        count = self._rng.choices(predicate_counts, weights=weights)[0]
+        count = min(count, self.config.max_query_length, len(self.config.dimensions))
+        target = self._rng.choice(list(self.config.targets)).replace("_", " ")
+        dims = self._rng.sample(list(self.config.dimensions), count)
+        values = [self._random_value(dim) for dim in dims]
+        if count == 0:
+            text = f"what is the {target} overall"
+        else:
+            restriction = " and ".join(str(v) for v in values)
+            text = f"what is the {target} for {restriction}"
+        return QueryLogEntry(text, RequestType.SUPPORTED_QUERY, predicates=count)
+
+    def _unsupported_query_entry(self) -> QueryLogEntry:
+        target = self._rng.choice(list(self.config.targets)).replace("_", " ")
+        dimension = self._rng.choice(list(self.config.dimensions))
+        value_a = self._random_value(dimension)
+        value_b = self._random_value(dimension)
+        flavour = self._rng.random()
+        if flavour < 0.4:
+            text = f"make a comparison of {target} between {value_a} and {value_b}"
+        elif flavour < 0.8:
+            text = f"which {dimension.replace('_', ' ')} has the highest {target}"
+        else:
+            text = f"what is the {target} of item number {self._rng.randint(100, 999)}"
+        return QueryLogEntry(text, RequestType.UNSUPPORTED_QUERY, predicates=2)
+
+    def _random_value(self, dimension: str):
+        values = self.table.column(dimension).distinct_values()
+        return self._rng.choice(values)

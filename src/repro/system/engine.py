@@ -1,0 +1,363 @@
+"""The end-to-end voice query engine (Figure 2).
+
+``VoiceQueryEngine`` combines the configuration, the problem generator,
+a summarization algorithm, the speech store, the natural-language
+parser and the speech realizer into the system the paper deploys on the
+Google Assistant platform: pre-process once, then answer each voice
+request by looking up the most related pre-generated speech.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import Summarizer
+from repro.core.expectation import ExpectationModel
+from repro.core.priors import Prior
+from repro.relational.table import Table
+from repro.system.classification import RequestType, classify_request
+from repro.system.config import SummarizationConfig
+from repro.system.nlq import NaturalLanguageParser, ParsedRequest
+from repro.system.preprocessor import Preprocessor, PreprocessingReport
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.queries import DataQuery
+from repro.system.speech_store import SpeechStore
+from repro.system.templates import SpeechRealizer
+
+
+class ResponseKind(Enum):
+    """What kind of answer the engine produced."""
+
+    SPEECH = "speech"
+    HELP = "help"
+    REPEAT = "repeat"
+    UNSUPPORTED = "unsupported"
+    NO_DATA = "no_data"
+    COMPARISON = "comparison"
+    EXTREMUM = "extremum"
+
+
+_HELP_TEXT = (
+    "You can ask about a value for a data subset, for example "
+    "'what is the {target} for {example}?'. I answer with a short summary "
+    "of the relevant data."
+)
+_UNSUPPORTED_TEXT = (
+    "I can only answer questions about averages for data subsets; "
+    "comparisons and extrema are not supported yet."
+)
+_NO_DATA_TEXT = "I have no summary for that data subset."
+
+
+@dataclass
+class VoiceResponse:
+    """The engine's answer to one voice request.
+
+    Attributes
+    ----------
+    kind:
+        Category of the response.
+    text:
+        The text that would be sent to speech synthesis.
+    request_type:
+        The Table III classification of the request.
+    query:
+        The extracted data query, when the request was a data query.
+    exact_match:
+        For speech responses, whether the stored speech was generated
+        for exactly the requested subset.
+    latency_seconds:
+        Time from receiving the transcript to having the response text
+        (the run-time latency reported in Figure 10).
+    """
+
+    kind: ResponseKind
+    text: str
+    request_type: RequestType
+    query: DataQuery | None = None
+    exact_match: bool = False
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class SessionLog:
+    """Chronological record of requests and responses (for analysis)."""
+
+    requests: list[ParsedRequest] = field(default_factory=list)
+    responses: list[VoiceResponse] = field(default_factory=list)
+
+
+class VoiceQueryEngine:
+    """Answer voice queries with pre-generated speech summaries.
+
+    Parameters
+    ----------
+    config:
+        Summarization configuration.
+    table:
+        The data table to expose.
+    summarizer:
+        Pre-processing algorithm (defaults to the one named in the
+        configuration).
+    prior / expectation_model:
+        Optional overrides forwarded to the problem generator.
+    target_synonyms / dimension_synonyms:
+        Extra vocabulary for the natural-language parser.
+    realizer:
+        Speech realizer (phrasing of targets and dimensions).
+    enable_advanced_queries:
+        When True, comparison and extremum requests — which the paper's
+        deployment logged as unsupported — are answered by the
+        :mod:`repro.system.advanced` extension instead of an apology.
+    """
+
+    def __init__(
+        self,
+        config: SummarizationConfig,
+        table: Table,
+        summarizer: Summarizer | None = None,
+        prior: Prior | None = None,
+        expectation_model: ExpectationModel | None = None,
+        target_synonyms: Mapping[str, Sequence[str]] | None = None,
+        dimension_synonyms: Mapping[str, tuple[str, object]] | None = None,
+        realizer: SpeechRealizer | None = None,
+        enable_advanced_queries: bool = False,
+    ):
+        self._config = config
+        self._table = table
+        self._realizer = realizer or SpeechRealizer()
+        self._generator = ProblemGenerator(
+            config, table, prior=prior, expectation_model=expectation_model
+        )
+        self._preprocessor = Preprocessor(config, summarizer=summarizer, realizer=self._realizer)
+        self._parser = NaturalLanguageParser(
+            config, table, target_synonyms=target_synonyms, dimension_synonyms=dimension_synonyms
+        )
+        self._store = SpeechStore()
+        self._report: PreprocessingReport | None = None
+        self._last_response: VoiceResponse | None = None
+        self._log = SessionLog()
+        self._advanced_enabled = enable_advanced_queries
+        self._comparison_answerer = None
+        self._extremum_answerer = None
+        if enable_advanced_queries:
+            from repro.system.advanced import ComparisonAnswerer, ExtremumAnswerer
+
+            self._comparison_answerer = ComparisonAnswerer(
+                table, config.dimensions, realizer=self._realizer
+            )
+            self._extremum_answerer = ExtremumAnswerer(
+                table, config.dimensions, realizer=self._realizer
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SummarizationConfig:
+        """The engine's configuration."""
+        return self._config
+
+    @property
+    def table(self) -> Table:
+        """The data table the engine exposes."""
+        return self._table
+
+    @property
+    def store(self) -> SpeechStore:
+        """The speech store filled during pre-processing."""
+        return self._store
+
+    @property
+    def report(self) -> PreprocessingReport | None:
+        """The last pre-processing report (None before preprocessing)."""
+        return self._report
+
+    @property
+    def parser(self) -> NaturalLanguageParser:
+        """The natural-language parser."""
+        return self._parser
+
+    @property
+    def session_log(self) -> SessionLog:
+        """Requests and responses handled so far."""
+        return self._log
+
+    # ------------------------------------------------------------------
+    # Pre-processing
+    # ------------------------------------------------------------------
+    def preprocess(self, max_problems: int | None = None) -> PreprocessingReport:
+        """Generate speeches for all queries up to the configured length."""
+        self._store, self._report = self._preprocessor.run(
+            self._generator, store=SpeechStore(), max_problems=max_problems
+        )
+        return self._report
+
+    def save_speeches(self, path: str) -> None:
+        """Persist the pre-generated speeches (and the configuration) to JSON."""
+        from repro.system.persistence import save_store
+
+        save_store(self._store, path, self._config)
+
+    def load_speeches(self, path: str) -> int:
+        """Load pre-generated speeches from a JSON artifact.
+
+        Returns the number of speeches loaded.  The artifact's
+        configuration (if present) is ignored; the engine keeps its own.
+        """
+        from repro.system.persistence import load_store
+
+        store, _config = load_store(path)
+        self._store = store
+        return len(store)
+
+    # ------------------------------------------------------------------
+    # Run time
+    # ------------------------------------------------------------------
+    def ask(self, text: str) -> VoiceResponse:
+        """Answer one voice request (a transcript string)."""
+        start = time.perf_counter()
+        parsed = self._parser.parse(text)
+        request_type = classify_request(parsed, self._config)
+        response = self._respond(parsed, request_type)
+        response.latency_seconds = time.perf_counter() - start
+        self._log.requests.append(parsed)
+        self._log.responses.append(response)
+        if response.kind is not ResponseKind.REPEAT:
+            self._last_response = response
+        return response
+
+    def answer_query(self, query: DataQuery) -> VoiceResponse:
+        """Answer a structured data query directly (bypassing parsing)."""
+        start = time.perf_counter()
+        response = self._lookup(query)
+        response.latency_seconds = time.perf_counter() - start
+        return response
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _respond(self, parsed: ParsedRequest, request_type: RequestType) -> VoiceResponse:
+        if request_type is RequestType.HELP:
+            return VoiceResponse(
+                kind=ResponseKind.HELP,
+                text=self._help_text(),
+                request_type=request_type,
+            )
+        if request_type is RequestType.REPEAT:
+            text = self._last_response.text if self._last_response else self._help_text()
+            return VoiceResponse(
+                kind=ResponseKind.REPEAT, text=text, request_type=request_type
+            )
+        if request_type is RequestType.SUPPORTED_QUERY and parsed.query is not None:
+            response = self._lookup(parsed.query)
+            response.request_type = request_type
+            return response
+        if request_type is RequestType.UNSUPPORTED_QUERY:
+            advanced = self._try_advanced(parsed) if self._advanced_enabled else None
+            if advanced is not None:
+                advanced.request_type = request_type
+                return advanced
+            return VoiceResponse(
+                kind=ResponseKind.UNSUPPORTED,
+                text=_UNSUPPORTED_TEXT,
+                request_type=request_type,
+                query=parsed.query,
+            )
+        return VoiceResponse(
+            kind=ResponseKind.UNSUPPORTED,
+            text=self._help_text(),
+            request_type=request_type,
+        )
+
+    def _lookup(self, query: DataQuery) -> VoiceResponse:
+        match = self._store.best_match(query)
+        if match is None:
+            return VoiceResponse(
+                kind=ResponseKind.NO_DATA,
+                text=_NO_DATA_TEXT,
+                request_type=RequestType.SUPPORTED_QUERY,
+                query=query,
+            )
+        return VoiceResponse(
+            kind=ResponseKind.SPEECH,
+            text=match.stored.text,
+            request_type=RequestType.SUPPORTED_QUERY,
+            query=query,
+            exact_match=match.exact,
+        )
+
+    def _try_advanced(self, parsed: ParsedRequest) -> VoiceResponse | None:
+        """Answer a comparison or extremum request via the extension.
+
+        Returns None when the request cannot be interpreted (missing
+        target, too few values), so the caller falls back to the
+        standard unsupported-query response.
+        """
+        from repro.system.nlq import RequestKind
+
+        if parsed.query is None or parsed.query.target not in self._config.targets:
+            return None
+        target = parsed.query.target
+
+        if parsed.kind is RequestKind.COMPARISON and self._comparison_answerer is not None:
+            pairs = self._comparison_pair(parsed)
+            if pairs is None:
+                return None
+            first, second = pairs
+            answer = self._comparison_answerer.compare(target, first, second)
+            if answer is None:
+                return None
+            return VoiceResponse(
+                kind=ResponseKind.COMPARISON,
+                text=answer.text,
+                request_type=RequestType.UNSUPPORTED_QUERY,
+                query=parsed.query,
+            )
+
+        if parsed.kind is RequestKind.EXTREMUM and self._extremum_answerer is not None:
+            dimension = parsed.mentioned_dimension
+            if dimension is None and parsed.value_mentions:
+                dimension = parsed.value_mentions[0][0]
+            if dimension is None:
+                return None
+            base = {
+                column: value
+                for column, value in parsed.query.predicate_map.items()
+                if column != dimension
+            }
+            answer = self._extremum_answerer.extremum(
+                target, dimension, maximize=not parsed.wants_minimum, base_predicates=base
+            )
+            if answer is None:
+                return None
+            return VoiceResponse(
+                kind=ResponseKind.EXTREMUM,
+                text=answer.text,
+                request_type=RequestType.UNSUPPORTED_QUERY,
+                query=parsed.query,
+            )
+        return None
+
+    @staticmethod
+    def _comparison_pair(parsed: ParsedRequest):
+        """The two compared subsets: two values of the same dimension."""
+        by_dimension: dict[str, list] = {}
+        for dimension, value in parsed.value_mentions:
+            bucket = by_dimension.setdefault(dimension, [])
+            if value not in bucket:
+                bucket.append(value)
+        for dimension, values in by_dimension.items():
+            if len(values) >= 2:
+                return {dimension: values[0]}, {dimension: values[1]}
+        return None
+
+    def _help_text(self) -> str:
+        target = self._config.targets[0].replace("_", " ")
+        dimension = self._config.dimensions[0]
+        values = self._table.column(dimension).distinct_values()
+        example = str(values[0]) if values else dimension
+        return _HELP_TEXT.format(target=target, example=example)

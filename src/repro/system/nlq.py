@@ -1,0 +1,259 @@
+"""Natural-language request parsing (text → query).
+
+The deployed system relies on the Google Assistant framework, trained
+with a few samples, to extract a target column and equality predicates
+from the voice transcript (Section III).  This module provides the
+offline equivalent: a lexicon-based extractor built from the table's
+column metadata plus optional synonyms.  Its output contract matches
+the original — a target column and a set of equality predicates — and
+it additionally detects the request categories the deployment analysis
+distinguishes (help, repeat, comparisons, extrema, other).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Sequence
+
+from repro.system.config import SummarizationConfig
+from repro.system.queries import DataQuery
+from repro.relational.table import Table
+
+
+class RequestKind(Enum):
+    """Coarse categories of an incoming voice request."""
+
+    HELP = "help"
+    REPEAT = "repeat"
+    QUERY = "query"
+    COMPARISON = "comparison"
+    EXTREMUM = "extremum"
+    OTHER = "other"
+
+
+@dataclass
+class ParsedRequest:
+    """Result of parsing one voice request.
+
+    ``query`` is populated for data-access requests; comparisons and
+    extrema also carry the extracted query skeleton when possible so the
+    analysis can count them among data-access queries.
+    ``value_mentions`` lists *every* recognised dimension value (possibly
+    several for the same dimension, as in "between East and West") and
+    ``mentioned_dimension`` records a dimension referenced by name
+    ("which region ..."); both feed the comparison/extremum extension.
+    """
+
+    text: str
+    kind: RequestKind
+    query: DataQuery | None = None
+    matched_values: dict[str, Any] = field(default_factory=dict)
+    value_mentions: list[tuple[str, Any]] = field(default_factory=list)
+    mentioned_dimension: str | None = None
+    wants_minimum: bool = False
+
+
+_HELP_PATTERNS = ("help", "what can i ask", "what can you do", "how do i", "instructions")
+_REPEAT_PATTERNS = ("repeat", "say that again", "once more", "come again")
+_COMPARISON_PATTERNS = ("compare", "comparison", " versus ", " vs ", "difference between")
+_EXTREMUM_PATTERNS = (
+    "highest", "lowest", "most ", "least ", "maximum", "minimum", "worst", "best ",
+    "which has the", "who has the",
+)
+
+
+class NaturalLanguageParser:
+    """Lexicon-based extractor for target columns and equality predicates.
+
+    Parameters
+    ----------
+    config:
+        Summarization configuration (names the dimensions and targets).
+    table:
+        The data table; its distinct dimension values form the predicate
+        lexicon.
+    target_synonyms:
+        Extra phrases that map to a target column, e.g.
+        ``{"cancellation": ["cancellations", "cancelled flights"]}``.
+    dimension_synonyms:
+        Extra phrases that map a *value* to a (dimension, value) pair,
+        e.g. ``{"nyc": ("borough", "Manhattan")}``.
+    """
+
+    def __init__(
+        self,
+        config: SummarizationConfig,
+        table: Table,
+        target_synonyms: Mapping[str, Sequence[str]] | None = None,
+        dimension_synonyms: Mapping[str, tuple[str, Any]] | None = None,
+    ):
+        self._config = config
+        self._target_lexicon = self._build_target_lexicon(config.targets, target_synonyms)
+        self._value_lexicon = self._build_value_lexicon(config.dimensions, table)
+        for phrase, (dimension, value) in (dimension_synonyms or {}).items():
+            self._value_lexicon[phrase.lower()] = (dimension, value)
+
+    # ------------------------------------------------------------------
+    # Lexicon construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_target_lexicon(
+        targets: Sequence[str],
+        synonyms: Mapping[str, Sequence[str]] | None,
+    ) -> dict[str, str]:
+        lexicon: dict[str, str] = {}
+        for target in targets:
+            phrase = target.replace("_", " ").lower()
+            lexicon[phrase] = target
+            # Individual informative words of the column name also map to it.
+            for word in phrase.split():
+                if len(word) > 3:
+                    lexicon.setdefault(word, target)
+        for target, phrases in (synonyms or {}).items():
+            for phrase in phrases:
+                lexicon[phrase.lower()] = target
+        return lexicon
+
+    @staticmethod
+    def _build_value_lexicon(
+        dimensions: Sequence[str], table: Table
+    ) -> dict[str, tuple[str, Any]]:
+        lexicon: dict[str, tuple[str, Any]] = {}
+        for dimension in dimensions:
+            for value in table.column(dimension).distinct_values():
+                phrase = str(value).lower()
+                # Values shared by several dimensions keep the first
+                # dimension (stable order); callers can disambiguate
+                # through dimension_synonyms.
+                lexicon.setdefault(phrase, (dimension, value))
+        return lexicon
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> ParsedRequest:
+        """Parse one voice request into a :class:`ParsedRequest`."""
+        normalised = f" {text.strip().lower()} "
+        if self._matches_any(normalised, _HELP_PATTERNS):
+            return ParsedRequest(text=text, kind=RequestKind.HELP)
+        if self._matches_any(normalised, _REPEAT_PATTERNS):
+            return ParsedRequest(text=text, kind=RequestKind.REPEAT)
+
+        target = self._extract_target(normalised)
+        predicates = self._extract_predicates(normalised)
+        mentions = self.extract_value_mentions(normalised)
+        dimension = self.extract_dimension_mention(normalised)
+
+        if self._matches_any(normalised, _COMPARISON_PATTERNS):
+            query = DataQuery.create(target, predicates) if target else None
+            return ParsedRequest(
+                text=text,
+                kind=RequestKind.COMPARISON,
+                query=query,
+                matched_values=predicates,
+                value_mentions=mentions,
+                mentioned_dimension=dimension,
+            )
+        if self._matches_any(normalised, _EXTREMUM_PATTERNS):
+            query = DataQuery.create(target, predicates) if target else None
+            wants_minimum = self._matches_any(
+                normalised, ("lowest", "least ", "minimum", "fewest", "smallest")
+            )
+            return ParsedRequest(
+                text=text,
+                kind=RequestKind.EXTREMUM,
+                query=query,
+                matched_values=predicates,
+                value_mentions=mentions,
+                mentioned_dimension=dimension,
+                wants_minimum=wants_minimum,
+            )
+        if target is None:
+            return ParsedRequest(text=text, kind=RequestKind.OTHER, matched_values=predicates)
+        return ParsedRequest(
+            text=text,
+            kind=RequestKind.QUERY,
+            query=DataQuery.create(target, predicates),
+            matched_values=predicates,
+            value_mentions=mentions,
+        )
+
+    # ------------------------------------------------------------------
+    # Extraction internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches_any(text: str, patterns: Sequence[str]) -> bool:
+        return any(pattern in text for pattern in patterns)
+
+    def _extract_target(self, text: str) -> str | None:
+        """The target column whose longest synonym appears in the text."""
+        best: str | None = None
+        best_length = 0
+        for phrase, target in self._target_lexicon.items():
+            if len(phrase) > best_length and self._phrase_in_text(phrase, text):
+                best = target
+                best_length = len(phrase)
+        return best
+
+    def extract_value_mentions(self, text: str) -> list[tuple[str, Any]]:
+        """Every recognised dimension value, in text order of first match.
+
+        Unlike :meth:`_extract_predicates`, a dimension may contribute
+        several values ("between East and West"); phrases contained in a
+        longer matched phrase are still skipped.
+        """
+        normalised = f" {text.strip().lower()} "
+        mentions: list[tuple[str, int]] = []
+        matched_phrases: list[str] = []
+        for phrase in sorted(self._value_lexicon, key=len, reverse=True):
+            match = re.search(r"\b" + re.escape(phrase) + r"\b", normalised)
+            if not match:
+                continue
+            if any(phrase in longer for longer in matched_phrases):
+                continue
+            matched_phrases.append(phrase)
+            mentions.append((phrase, match.start()))
+        mentions.sort(key=lambda item: item[1])
+        return [self._value_lexicon[phrase] for phrase, _ in mentions]
+
+    def extract_dimension_mention(self, text: str) -> str | None:
+        """A dimension column referenced by name in the text, if any."""
+        normalised = f" {text.strip().lower()} "
+        best: str | None = None
+        best_length = 0
+        for dimension in self._config.dimensions:
+            phrase = dimension.replace("_", " ").lower()
+            candidates = {phrase}
+            # Also accept the head noun of a multi-word dimension name
+            # ("region" for "origin region").
+            if " " in phrase:
+                candidates.add(phrase.split()[-1])
+            for candidate in candidates:
+                if len(candidate) > best_length and self._phrase_in_text(candidate, normalised):
+                    best = dimension
+                    best_length = len(candidate)
+        return best
+
+    def _extract_predicates(self, text: str) -> dict[str, Any]:
+        """Equality predicates for every dimension value mentioned in the text."""
+        predicates: dict[str, Any] = {}
+        matched_phrases: list[str] = []
+        for phrase in sorted(self._value_lexicon, key=len, reverse=True):
+            if not self._phrase_in_text(phrase, text):
+                continue
+            # Skip phrases fully contained in an already matched longer phrase
+            # (e.g. "north" inside "northeast").
+            if any(phrase in longer for longer in matched_phrases):
+                continue
+            dimension, value = self._value_lexicon[phrase]
+            if dimension not in predicates:
+                predicates[dimension] = value
+                matched_phrases.append(phrase)
+        return predicates
+
+    @staticmethod
+    def _phrase_in_text(phrase: str, text: str) -> bool:
+        pattern = r"\b" + re.escape(phrase) + r"\b"
+        return re.search(pattern, text) is not None

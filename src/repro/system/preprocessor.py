@@ -1,0 +1,146 @@
+"""Batch pre-processing: solve every generated problem and fill the store.
+
+This is the "Speech Summarizer" box of Figure 2.  Pre-processing cost
+is the price paid for near-zero run-time latency (Figure 10): the
+deployment spends minutes in this loop and afterwards answers queries
+by a simple store lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import Summarizer
+from repro.algorithms.registry import make_summarizer
+from repro.system.config import SummarizationConfig
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.queries import DataQuery
+from repro.system.speech_store import SpeechStore, StoredSpeech
+from repro.system.templates import SpeechRealizer
+
+
+@dataclass
+class PreprocessingReport:
+    """Summary of one pre-processing run.
+
+    Attributes
+    ----------
+    speeches_generated:
+        Number of speeches stored.
+    queries_considered:
+        Number of queries enumerated (including skipped ones).
+    queries_skipped:
+        Queries whose data subset was too small to summarize.
+    total_seconds:
+        Wall-clock time of the whole batch.
+    total_utility / total_scaled_utility:
+        Sums over all generated speeches (for averaging in reports).
+    per_query_seconds:
+        Average pre-processing time per stored speech.
+    """
+
+    speeches_generated: int = 0
+    queries_considered: int = 0
+    queries_skipped: int = 0
+    total_seconds: float = 0.0
+    total_utility: float = 0.0
+    total_scaled_utility: float = 0.0
+    algorithm: str = ""
+    fact_evaluations: int = 0
+    query_labels: list[str] = field(default_factory=list)
+
+    @property
+    def per_query_seconds(self) -> float:
+        """Average pre-processing time per generated speech."""
+        if self.speeches_generated == 0:
+            return 0.0
+        return self.total_seconds / self.speeches_generated
+
+    @property
+    def average_scaled_utility(self) -> float:
+        """Average scaled utility over all generated speeches."""
+        if self.speeches_generated == 0:
+            return 0.0
+        return self.total_scaled_utility / self.speeches_generated
+
+
+class Preprocessor:
+    """Runs a summarization algorithm over every pre-processing query.
+
+    Parameters
+    ----------
+    config:
+        The summarization configuration.
+    summarizer:
+        Algorithm instance; when omitted, ``config.algorithm`` is
+        instantiated from the registry.
+    realizer:
+        Speech realizer used to render stored speech texts.
+    """
+
+    def __init__(
+        self,
+        config: SummarizationConfig,
+        summarizer: Summarizer | None = None,
+        realizer: SpeechRealizer | None = None,
+    ):
+        self._config = config
+        self._summarizer = summarizer or make_summarizer(config.algorithm)
+        self._realizer = realizer or SpeechRealizer()
+
+    @property
+    def summarizer(self) -> Summarizer:
+        """The algorithm used for pre-processing."""
+        return self._summarizer
+
+    def run(
+        self,
+        generator: ProblemGenerator,
+        store: SpeechStore | None = None,
+        max_problems: int | None = None,
+    ) -> tuple[SpeechStore, PreprocessingReport]:
+        """Solve all generated problems and store the resulting speeches.
+
+        ``max_problems`` caps the number of solved problems (useful for
+        tests and scaled-down experiments).
+        """
+        store = store if store is not None else SpeechStore()
+        report = PreprocessingReport(algorithm=self._summarizer.name)
+        start = time.perf_counter()
+
+        solved = 0
+        for query in generator.enumerate_queries():
+            report.queries_considered += 1
+            if max_problems is not None and solved >= max_problems:
+                continue
+            problem = generator.build_problem(query)
+            if problem is None:
+                report.queries_skipped += 1
+                continue
+            result = self._summarizer.summarize(problem)
+            text = self._realizer.realize(query, result.speech)
+            store.add(
+                StoredSpeech(
+                    query=query,
+                    speech=result.speech,
+                    text=text,
+                    utility=result.utility,
+                    scaled_utility=result.scaled_utility,
+                    algorithm=result.algorithm,
+                )
+            )
+            solved += 1
+            report.speeches_generated += 1
+            report.total_utility += result.utility
+            report.total_scaled_utility += result.scaled_utility
+            report.fact_evaluations += result.statistics.fact_evaluations
+            report.query_labels.append(query.describe())
+
+        report.total_seconds = time.perf_counter() - start
+        return store, report
+
+    @staticmethod
+    def lookup_query(store: SpeechStore, query: DataQuery):
+        """Convenience wrapper for run-time lookups (store.best_match)."""
+        return store.best_match(query)

@@ -1,0 +1,160 @@
+"""Problem generator: one summarization problem per pre-processed query.
+
+Section III: "The Problem Generator creates one query for each
+combination of a target column and a subset of equality predicates,
+considering all possible combinations of equality predicates up to the
+query length.  For each such query, we generate a speech summarizing
+values in the target column for the data subset defined by the query
+predicates."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterator
+
+from repro.core.errors import InvalidProblemError
+from repro.core.expectation import ExpectationModel
+from repro.core.model import SummarizationRelation
+from repro.core.priors import ConstantPrior, Prior
+from repro.core.problem import SummarizationProblem
+from repro.facts.generation import FactGenerator
+from repro.relational.expressions import conjunction_of_equalities
+from repro.relational.operators import select
+from repro.relational.table import Table
+from repro.system.config import SummarizationConfig
+from repro.system.queries import DataQuery
+
+
+@dataclass
+class GeneratedProblem:
+    """A query together with its summarization problem instance."""
+
+    query: DataQuery
+    problem: SummarizationProblem
+
+
+class ProblemGenerator:
+    """Enumerates pre-processing queries and builds their problems.
+
+    Parameters
+    ----------
+    config:
+        The summarization configuration.
+    table:
+        The data table referenced by the configuration.
+    prior / expectation_model:
+        Optional overrides for the problem instances.  By default the
+        prior is the average of the target column over the *whole*
+        table (the paper uses "the average value in the target column
+        as a (constant) prior"), and the expectation model is the
+        closest-relevant-value model.
+    min_subset_rows:
+        Data subsets with fewer rows than this are skipped (no speech is
+        pre-generated for them).
+    """
+
+    def __init__(
+        self,
+        config: SummarizationConfig,
+        table: Table,
+        prior: Prior | None = None,
+        expectation_model: ExpectationModel | None = None,
+        min_subset_rows: int = 2,
+    ):
+        for column in (*config.dimensions, *config.targets):
+            if not table.has_column(column):
+                raise InvalidProblemError(
+                    f"configured column {column!r} missing from table {table.name!r}"
+                )
+        self._config = config
+        self._table = table
+        self._prior = prior
+        self._expectation_model = expectation_model
+        self._min_subset_rows = min_subset_rows
+        self._prior_cache: dict[str, Prior] = {}
+
+    @property
+    def config(self) -> SummarizationConfig:
+        """The generator's configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Query enumeration
+    # ------------------------------------------------------------------
+    def enumerate_queries(self) -> Iterator[DataQuery]:
+        """Yield every (target, predicate-combination) query.
+
+        Predicates range over all dimension-value combinations that
+        appear in the data; query lengths range from zero (the overall
+        summary) up to ``max_query_length``.
+        """
+        domains = {
+            dim: self._table.column(dim).distinct_values()
+            for dim in self._config.dimensions
+        }
+        for target in self._config.targets:
+            yield DataQuery.create(target, {})
+            for length in range(1, self._config.max_query_length + 1):
+                for dims in combinations(self._config.dimensions, length):
+                    for values in product(*(domains[d] for d in dims)):
+                        yield DataQuery.create(target, dict(zip(dims, values)))
+
+    def count_queries(self) -> int:
+        """Number of queries enumerated (without building problems)."""
+        return sum(1 for _ in self.enumerate_queries())
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def build_problem(self, query: DataQuery) -> SummarizationProblem | None:
+        """Build the summarization problem answering ``query``.
+
+        Returns None when the query's data subset is too small or when
+        no candidate facts can be generated for it.
+        """
+        predicate = conjunction_of_equalities(query.predicate_map)
+        subset = select(self._table, predicate, name=f"{self._table.name}_subset")
+        if subset.num_rows < self._min_subset_rows:
+            return None
+
+        relation = SummarizationRelation(
+            subset, list(self._config.dimensions), query.target
+        )
+        generator = FactGenerator(
+            relation,
+            max_extra_dimensions=self._config.max_fact_dimensions,
+            min_support=self._config.min_fact_support,
+        )
+        generated = generator.generate(base_scope=query.predicate_map)
+        if not generated.facts:
+            return None
+
+        kwargs = {}
+        kwargs["prior"] = self._prior if self._prior is not None else self._default_prior(query.target)
+        if self._expectation_model is not None:
+            kwargs["expectation_model"] = self._expectation_model
+        return SummarizationProblem(
+            relation=relation,
+            candidate_facts=generated.facts,
+            max_facts=self._config.max_facts_per_speech,
+            label=query.describe(),
+            **kwargs,
+        )
+
+    def _default_prior(self, target: str) -> Prior:
+        """Constant prior: the target's average over the whole table."""
+        cached = self._prior_cache.get(target)
+        if cached is None:
+            summary = self._table.column(target).numeric_summary()
+            cached = ConstantPrior(summary["mean"] if summary["count"] else 0.0)
+            self._prior_cache[target] = cached
+        return cached
+
+    def generate(self) -> Iterator[GeneratedProblem]:
+        """Yield (query, problem) pairs for every viable query."""
+        for query in self.enumerate_queries():
+            problem = self.build_problem(query)
+            if problem is not None:
+                yield GeneratedProblem(query=query, problem=problem)

@@ -1,0 +1,73 @@
+"""Data queries: a target column plus a conjunction of equality predicates.
+
+This is the query class the system supports (Section III): "queries
+requesting information on values in a target column for a data subset,
+defined by a conjunction of equality predicates".  Query length is the
+number of predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.model import Scope
+
+
+@dataclass(frozen=True)
+class DataQuery:
+    """A supported voice query.
+
+    Attributes
+    ----------
+    target:
+        The target column the user asks about.
+    predicates:
+        Equality predicates on dimension columns (column -> value).
+    """
+
+    target: str
+    predicates: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def create(target: str, predicates: Mapping[str, Any] | None = None) -> "DataQuery":
+        """Build a query from a predicate mapping."""
+        items = tuple(sorted((predicates or {}).items()))
+        return DataQuery(target=target, predicates=items)
+
+    @property
+    def predicate_map(self) -> dict[str, Any]:
+        """Predicates as a dict."""
+        return dict(self.predicates)
+
+    @property
+    def length(self) -> int:
+        """Query length = number of equality predicates."""
+        return len(self.predicates)
+
+    def scope(self) -> Scope:
+        """The data-subset scope defined by the query's predicates."""
+        return Scope(self.predicate_map)
+
+    def key(self) -> tuple:
+        """Canonical lookup key: (target, sorted predicate items)."""
+        return (self.target, self.predicates)
+
+    def is_refinement_of(self, other: "DataQuery") -> bool:
+        """True when ``other``'s predicates are a subset of this query's.
+
+        Used by the run-time matcher: a stored speech for predicates S
+        can answer a query Q when S ⊆ Q (the stored subset contains the
+        queried one) and the targets agree.
+        """
+        if self.target != other.target:
+            return False
+        mine = self.predicate_map
+        return all(mine.get(col) == val for col, val in other.predicates)
+
+    def describe(self) -> str:
+        """Readable description, e.g. "delay for season=Winter, region=East"."""
+        if not self.predicates:
+            return f"{self.target} overall"
+        restrictions = ", ".join(f"{col}={val}" for col, val in self.predicates)
+        return f"{self.target} for {restrictions}"

@@ -1,0 +1,110 @@
+"""Speech store: pre-generated speeches indexed by query.
+
+At run time the system "maps voice queries to the most related speech
+summary, generated during pre-processing" (Section III).  Exact matches
+are preferred; otherwise, among all speeches for the queried target
+column, the store returns the speech whose data subset is the most
+specific one containing the queried subset: predicates S with S ⊆ Q and
+|S ∩ Q| maximal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.model import Speech
+from repro.system.queries import DataQuery
+
+
+@dataclass(frozen=True)
+class StoredSpeech:
+    """A pre-generated speech with its metadata."""
+
+    query: DataQuery
+    speech: Speech
+    text: str
+    utility: float = 0.0
+    scaled_utility: float = 0.0
+    algorithm: str = ""
+
+
+@dataclass
+class MatchResult:
+    """Result of a run-time lookup.
+
+    ``exact`` indicates whether the stored speech answers precisely the
+    requested query or a more general containing subset.
+    """
+
+    stored: StoredSpeech
+    exact: bool
+    overlap: int = 0
+
+
+@dataclass
+class SpeechStore:
+    """In-memory index of pre-generated speeches."""
+
+    _by_key: dict[tuple, StoredSpeech] = field(default_factory=dict)
+    _by_target: dict[str, list[StoredSpeech]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, stored: StoredSpeech) -> None:
+        """Add (or replace) the speech for its query."""
+        key = stored.query.key()
+        previous = self._by_key.get(key)
+        self._by_key[key] = stored
+        bucket = self._by_target.setdefault(stored.query.target, [])
+        if previous is not None:
+            bucket[:] = [s for s in bucket if s.query.key() != key]
+        bucket.append(stored)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[StoredSpeech]:
+        return iter(self._by_key.values())
+
+    def targets(self) -> list[str]:
+        """Target columns with at least one stored speech."""
+        return sorted(self._by_target)
+
+    def speeches_for_target(self, target: str) -> list[StoredSpeech]:
+        """All stored speeches for one target column."""
+        return list(self._by_target.get(target, ()))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def exact_match(self, query: DataQuery) -> StoredSpeech | None:
+        """The speech pre-generated for exactly this query, if any."""
+        return self._by_key.get(query.key())
+
+    def best_match(self, query: DataQuery) -> MatchResult | None:
+        """The most specific stored speech containing the queried subset.
+
+        Returns None when no stored speech references the queried
+        target column, or when no stored subset contains the query.
+        """
+        exact = self.exact_match(query)
+        if exact is not None:
+            return MatchResult(stored=exact, exact=True, overlap=query.length)
+
+        candidates = self._by_target.get(query.target)
+        if not candidates:
+            return None
+        best: StoredSpeech | None = None
+        best_overlap = -1
+        for stored in candidates:
+            if not query.is_refinement_of(stored.query):
+                continue
+            overlap = stored.query.length
+            if overlap > best_overlap:
+                best = stored
+                best_overlap = overlap
+        if best is None:
+            return None
+        return MatchResult(stored=best, exact=False, overlap=best_overlap)

@@ -1,0 +1,172 @@
+"""Speech templates: turning fact sets into natural-language text.
+
+Section III: "After selecting a (near-)optimal fact combination, the
+speech is generated according to a simple text template" and "Speeches
+are prefixed with a description of the summarized data subset".  The
+realizer below follows the style of the example speeches in Table II of
+the paper:
+
+    "About 80 out of 1000 elder persons identify as visually impaired.
+     It is 17 for adults.  It is 3 for teenagers in Manhattan."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import math
+
+from repro.core.model import Fact, Scope, Speech
+from repro.system.queries import DataQuery
+
+
+def _magnitude(value: float) -> int:
+    """Order of magnitude of a non-zero value (floor of log10)."""
+    return int(math.floor(math.log10(abs(value))))
+
+
+@dataclass(frozen=True)
+class TargetPhrasing:
+    """How to verbalise one target column.
+
+    Attributes
+    ----------
+    subject:
+        Noun phrase for the quantity, e.g. "the average delay".
+    unit:
+        Unit suffix appended to values, e.g. " minutes" or "%".
+    scale:
+        Multiplier applied to raw values before formatting (e.g. 100 to
+        turn a 0/1 cancellation indicator into a percentage).
+    decimals:
+        Number of decimal places.
+    """
+
+    subject: str
+    unit: str = ""
+    scale: float = 1.0
+    decimals: int = 1
+
+
+class SpeechRealizer:
+    """Renders speeches (and their data-subset prefix) as English text.
+
+    Parameters
+    ----------
+    target_phrasings:
+        Optional per-target phrasing overrides; unlisted targets use a
+        generic "the average <column name>" phrasing.
+    dimension_labels:
+        Optional per-dimension labels used in scope descriptions
+        ("season Winter" instead of "season=Winter").
+    """
+
+    def __init__(
+        self,
+        target_phrasings: Mapping[str, TargetPhrasing] | None = None,
+        dimension_labels: Mapping[str, str] | None = None,
+    ):
+        self._phrasings = dict(target_phrasings or {})
+        self._dimension_labels = dict(dimension_labels or {})
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def realize(self, query: DataQuery, speech: Speech) -> str:
+        """Full voice output: subset prefix plus one sentence per fact."""
+        prefix = self.subset_prefix(query)
+        body = self.realize_facts(query.target, speech, base_scope=query.scope())
+        if prefix:
+            return f"{prefix} {body}".strip()
+        return body
+
+    def subset_prefix(self, query: DataQuery) -> str:
+        """The prefix describing the summarized data subset."""
+        if not query.predicates:
+            return ""
+        parts = [self._scope_item(col, val) for col, val in query.predicates]
+        return f"For {self._join_phrases(parts)}:"
+
+    def realize_facts(self, target: str, speech: Speech, base_scope: Scope | None = None) -> str:
+        """Render the facts of a speech (without the query prefix)."""
+        base_scope = base_scope or Scope()
+        sentences = []
+        for position, fact in enumerate(speech.facts):
+            sentences.append(self._fact_sentence(target, fact, base_scope, position == 0))
+        if not sentences:
+            return "No summary is available."
+        return " ".join(sentences)
+
+    def realize_fact(self, target: str, fact: Fact) -> str:
+        """Render a single fact as a standalone sentence."""
+        return self._fact_sentence(target, fact, Scope(), leading=True)
+
+    def format_value(self, target: str, value: float) -> str:
+        """Format a target value with the target's phrasing (unit, scale)."""
+        return self._format_value(target, value)
+
+    def subject(self, target: str) -> str:
+        """The noun phrase used for a target column, e.g. "the average delay"."""
+        return self._phrasing(target).subject
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _phrasing(self, target: str) -> TargetPhrasing:
+        phrasing = self._phrasings.get(target)
+        if phrasing is not None:
+            return phrasing
+        return TargetPhrasing(subject=f"the average {target.replace('_', ' ')}")
+
+    def _format_value(self, target: str, value: float) -> str:
+        phrasing = self._phrasing(target)
+        scaled = value * phrasing.scale
+        decimals = phrasing.decimals
+        # Small non-zero values need extra precision to stay meaningful
+        # ("0.04" rather than "0" for a 4% cancellation probability).
+        if scaled != 0.0 and abs(scaled) < 10 ** (-decimals):
+            decimals = max(decimals, 2 - _magnitude(scaled))
+        formatted = f"{scaled:.{decimals}f}"
+        # Trim trailing zeros for cleaner speech ("20" instead of "20.0").
+        if "." in formatted:
+            formatted = formatted.rstrip("0").rstrip(".")
+        return f"{formatted}{phrasing.unit}"
+
+    def _scope_item(self, column: str, value) -> str:
+        label = self._dimension_labels.get(column, column.replace("_", " "))
+        return f"{label} {value}"
+
+    @staticmethod
+    def _join_phrases(parts: list[str]) -> str:
+        if not parts:
+            return ""
+        if len(parts) == 1:
+            return parts[0]
+        return ", ".join(parts[:-1]) + " and " + parts[-1]
+
+    def _fact_sentence(
+        self,
+        target: str,
+        fact: Fact,
+        base_scope: Scope,
+        leading: bool,
+    ) -> str:
+        phrasing = self._phrasing(target)
+        value_text = self._format_value(target, fact.value)
+        # Only mention scope restrictions beyond the query's own predicates.
+        extra = {
+            col: val
+            for col, val in fact.scope.assignments.items()
+            if not (base_scope.restricts(col) and base_scope.value(col) == val)
+        }
+        scope_text = self._join_phrases(
+            [self._scope_item(col, val) for col, val in sorted(extra.items())]
+        )
+        if leading:
+            if scope_text:
+                return f"{phrasing.subject.capitalize()} for {scope_text} is {value_text}."
+            return f"{phrasing.subject.capitalize()} is {value_text} overall."
+        if scope_text:
+            return f"It is {value_text} for {scope_text}."
+        return f"It is {value_text} overall."

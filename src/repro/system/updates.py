@@ -1,0 +1,166 @@
+"""Incremental maintenance of the speech store.
+
+The paper's deployment assumes static data: "As long as data remain
+static, significant pre-processing overheads can be amortized over many
+queries" (Section VIII-E).  When new rows arrive (new flights, new poll
+results), re-running the full pre-processing batch is wasteful — only
+the speeches whose data subsets contain at least one new row can
+change.  :class:`IncrementalMaintainer` appends the new rows, finds the
+affected queries, and re-summarizes exactly those, leaving the rest of
+the store untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import Summarizer
+from repro.core.expectation import ExpectationModel
+from repro.core.priors import Prior
+from repro.relational.table import Table
+from repro.system.config import SummarizationConfig
+from repro.system.preprocessor import Preprocessor
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.queries import DataQuery
+from repro.system.speech_store import SpeechStore, StoredSpeech
+from repro.system.templates import SpeechRealizer
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one incremental maintenance pass.
+
+    Attributes
+    ----------
+    new_rows:
+        Number of appended rows.
+    affected_queries:
+        Queries whose data subset gained at least one new row.
+    rebuilt_speeches:
+        Speeches actually regenerated (affected queries whose subsets
+        are still summarizable).
+    unchanged_speeches:
+        Speeches left untouched in the store.
+    total_seconds:
+        Wall-clock time of the maintenance pass.
+    """
+
+    new_rows: int = 0
+    affected_queries: int = 0
+    rebuilt_speeches: int = 0
+    unchanged_speeches: int = 0
+    total_seconds: float = 0.0
+    rebuilt_labels: list[str] = field(default_factory=list)
+
+
+class IncrementalMaintainer:
+    """Keeps a speech store in sync with an append-only table.
+
+    Parameters
+    ----------
+    config:
+        The deployment's summarization configuration.
+    table:
+        The current table contents (before updates).
+    summarizer / realizer / prior / expectation_model:
+        Forwarded to the rebuild pre-processor; defaults match
+        :class:`repro.system.preprocessor.Preprocessor`.
+    """
+
+    def __init__(
+        self,
+        config: SummarizationConfig,
+        table: Table,
+        summarizer: Summarizer | None = None,
+        realizer: SpeechRealizer | None = None,
+        prior: Prior | None = None,
+        expectation_model: ExpectationModel | None = None,
+    ):
+        self._config = config
+        self._table = table
+        self._summarizer = summarizer
+        self._realizer = realizer or SpeechRealizer()
+        self._prior = prior
+        self._expectation_model = expectation_model
+
+    @property
+    def table(self) -> Table:
+        """The current table (including all applied updates)."""
+        return self._table
+
+    # ------------------------------------------------------------------
+    # Change analysis
+    # ------------------------------------------------------------------
+    def affected_queries(self, new_rows: Table) -> list[DataQuery]:
+        """Queries whose data subset contains at least one new row.
+
+        The empty-predicate query is always affected; a predicated query
+        is affected when some new row carries exactly its dimension
+        values.  Queries are enumerated against the *updated* table so
+        previously unseen dimension values produce new queries too.
+        """
+        updated = self._table.concat(new_rows)
+        generator = ProblemGenerator(
+            self._config,
+            updated,
+            prior=self._prior,
+            expectation_model=self._expectation_model,
+        )
+        new_row_dicts = list(new_rows.iter_rows())
+        affected = []
+        for query in generator.enumerate_queries():
+            scope = query.scope()
+            if any(scope.contains_row(row) for row in new_row_dicts):
+                affected.append(query)
+        return affected
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def apply_appended_rows(self, new_rows: Table, store: SpeechStore) -> MaintenanceReport:
+        """Append ``new_rows`` and refresh every affected speech in ``store``.
+
+        The store is modified in place; speeches for unaffected queries
+        are left exactly as they were.
+        """
+        start = time.perf_counter()
+        report = MaintenanceReport(new_rows=new_rows.num_rows)
+        before = len(store)
+
+        affected = self.affected_queries(new_rows)
+        report.affected_queries = len(affected)
+
+        self._table = self._table.concat(new_rows)
+        generator = ProblemGenerator(
+            self._config,
+            self._table,
+            prior=self._prior,
+            expectation_model=self._expectation_model,
+        )
+        preprocessor = Preprocessor(
+            self._config, summarizer=self._summarizer, realizer=self._realizer
+        )
+
+        for query in affected:
+            problem = generator.build_problem(query)
+            if problem is None:
+                continue
+            outcome = preprocessor.summarizer.summarize(problem)
+            text = self._realizer.realize(query, outcome.speech)
+            store.add(
+                StoredSpeech(
+                    query=query,
+                    speech=outcome.speech,
+                    text=text,
+                    utility=outcome.utility,
+                    scaled_utility=outcome.scaled_utility,
+                    algorithm=outcome.algorithm,
+                )
+            )
+            report.rebuilt_speeches += 1
+            report.rebuilt_labels.append(query.describe())
+
+        report.unchanged_speeches = max(0, before - report.rebuilt_speeches)
+        report.total_seconds = time.perf_counter() - start
+        return report

@@ -1,0 +1,33 @@
+"""Simulated user studies.
+
+The paper validates the speech-quality model with Amazon Mechanical
+Turk studies (Figures 5-8 and 11).  Crowd workers are unavailable
+offline, so this package simulates a worker population whose behaviour
+follows the paper's own empirical finding: when facing conflicting
+facts, workers' estimates are best predicted by the *closest relevant
+value* model (Figure 7), and their quality ratings correlate with the
+utility model (Figure 5).  The studies below exercise real speeches
+produced by the real algorithms; only the human in the loop is
+simulated.
+"""
+
+from repro.userstudy.worker import SimulatedWorker, WorkerPool, WorkerBehaviour
+from repro.userstudy.ratings import RatingStudy, RatingStudyResult, SpeechCandidate
+from repro.userstudy.estimation import EstimationStudy, EstimationResult
+from repro.userstudy.conflict import ConflictStudy, ConflictStudyResult
+from repro.userstudy.interface_study import InterfaceStudy, InterfaceStudyResult
+
+__all__ = [
+    "SimulatedWorker",
+    "WorkerPool",
+    "WorkerBehaviour",
+    "RatingStudy",
+    "RatingStudyResult",
+    "SpeechCandidate",
+    "EstimationStudy",
+    "EstimationResult",
+    "ConflictStudy",
+    "ConflictStudyResult",
+    "InterfaceStudy",
+    "InterfaceStudyResult",
+]

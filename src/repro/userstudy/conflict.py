@@ -1,0 +1,115 @@
+"""Conflict-resolution study (Figure 7).
+
+Workers are given four facts referencing two dimension columns (two
+facts per column) and must estimate all four value combinations; each
+combination is covered by exactly two conflicting facts.  The study
+compares four models of how workers resolve the conflict — farthest
+value, closest value, average over relevant facts, average over all
+facts — by the median error between the model's prediction and the
+workers' answers.  The paper finds the closest-value model fits best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from statistics import median
+from typing import Mapping, Sequence
+
+from repro.core.expectation import available_models
+from repro.core.model import Fact, Scope, SummarizationRelation
+from repro.userstudy.worker import WorkerPool
+
+#: Mapping from the expectation-model keys to the labels used in Figure 7.
+MODEL_LABELS = {
+    "farthest": "Farthest",
+    "avg_scope": "Avg. Scope",
+    "closest": "Closest",
+    "avg_all": "Avg. All",
+}
+
+
+@dataclass
+class ConflictStudyResult:
+    """Median prediction error per conflict-resolution model."""
+
+    errors: dict[str, float] = field(default_factory=dict)
+    combinations: int = 0
+    hits: int = 0
+
+    def best_model(self) -> str:
+        """Label of the model with minimal median error."""
+        return min(self.errors, key=self.errors.get)
+
+
+class ConflictStudy:
+    """Simulates the conflicting-facts estimation experiment."""
+
+    def __init__(self, pool: WorkerPool | None = None, workers_per_combination: int = 20):
+        self._pool = pool or WorkerPool()
+        self._workers_per_combination = workers_per_combination
+
+    def build_facts(
+        self,
+        relation: SummarizationRelation,
+        dimension_a: str,
+        values_a: Sequence[object],
+        dimension_b: str,
+        values_b: Sequence[object],
+    ) -> list[Fact]:
+        """Create the four single-dimension facts handed to the workers."""
+        facts = []
+        for dimension, values in ((dimension_a, values_a), (dimension_b, values_b)):
+            for value in values:
+                facts.append(relation.make_fact({dimension: value}))
+        return facts
+
+    def run(
+        self,
+        relation: SummarizationRelation,
+        dimension_a: str,
+        values_a: Sequence[object],
+        dimension_b: str,
+        values_b: Sequence[object],
+        prior: float,
+    ) -> ConflictStudyResult:
+        """Run the study over the 2×2 grid of value combinations."""
+        facts = self.build_facts(relation, dimension_a, values_a, dimension_b, values_b)
+        result = ConflictStudyResult()
+        models = available_models()
+        per_model_errors: dict[str, list[float]] = {key: [] for key in models}
+
+        workers = self._pool.workers
+        for value_a, value_b in product(values_a, values_b):
+            assignments: Mapping[str, object] = {dimension_a: value_a, dimension_b: value_b}
+            truth, support = relation.average_target(Scope(dict(assignments)))
+            if support == 0:
+                continue
+            result.combinations += 1
+
+            # Worker answers for this combination.
+            answers = []
+            for index in range(self._workers_per_combination):
+                worker = workers[index % len(workers)]
+                answers.append(worker.estimate(facts, assignments, truth, prior))
+                result.hits += 1
+            worker_answer = float(median(answers))
+
+            # Model predictions: what each expectation model says the user
+            # will believe for this combination.
+            relevant = [fact.value for fact in facts if fact.covers_row(assignments)]
+            all_values = [fact.value for fact in facts]
+            predictions = {
+                "closest": min(relevant + [prior], key=lambda v: abs(v - truth)),
+                "farthest": max(relevant + [prior], key=lambda v: abs(v - truth)),
+                "avg_scope": sum(relevant) / len(relevant) if relevant else prior,
+                "avg_all": sum(all_values) / len(all_values) if all_values else prior,
+            }
+            for key, prediction in predictions.items():
+                per_model_errors[key].append(abs(prediction - worker_answer))
+
+        result.errors = {
+            MODEL_LABELS[key]: float(median(errors)) if errors else 0.0
+            for key, errors in per_model_errors.items()
+        }
+        return result

@@ -1,0 +1,104 @@
+"""Estimation study (Figure 6).
+
+Workers hear either the best-ranked or the worst-ranked speech about a
+dataset and are then asked to estimate a grid of data points (in the
+paper: visual-impairment prevalence for each New York City borough and
+age group).  The study records, per data point, the median worker
+estimate under each speech together with the correct value, so the
+harness can verify that estimates based on the better speech track the
+data more closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Mapping, Sequence
+
+from repro.core.model import Speech, SummarizationRelation
+from repro.userstudy.worker import WorkerPool
+
+
+@dataclass
+class EstimationPoint:
+    """One estimated data point."""
+
+    assignments: dict[str, object]
+    correct: float
+    estimates: dict[str, float] = field(default_factory=dict)
+
+    def error(self, label: str) -> float:
+        """Absolute error of the median estimate under speech ``label``."""
+        return abs(self.estimates[label] - self.correct)
+
+
+@dataclass
+class EstimationResult:
+    """All estimated points of one study run."""
+
+    points: list[EstimationPoint] = field(default_factory=list)
+    hits: int = 0
+
+    def mean_absolute_error(self, label: str) -> float:
+        """Mean absolute error of median estimates for one speech."""
+        if not self.points:
+            return 0.0
+        return sum(p.error(label) for p in self.points) / len(self.points)
+
+
+class EstimationStudy:
+    """Ask workers to estimate data points after hearing a speech."""
+
+    def __init__(self, pool: WorkerPool | None = None, workers_per_point: int = 20):
+        self._pool = pool or WorkerPool()
+        self._workers_per_point = workers_per_point
+
+    def run(
+        self,
+        relation: SummarizationRelation,
+        speeches: Mapping[str, Speech],
+        points: Sequence[Mapping[str, object]],
+        prior: float,
+    ) -> EstimationResult:
+        """Collect median estimates for every point under every speech.
+
+        Parameters
+        ----------
+        relation:
+            The underlying data (provides the correct values).
+        speeches:
+            Speeches keyed by label (e.g. "best", "worst").
+        points:
+            Dimension-value assignments identifying the asked data points.
+        prior:
+            The value workers assume absent relevant facts.
+        """
+        result = EstimationResult()
+        workers = self._pool.workers
+        for assignments in points:
+            correct = self._correct_value(relation, assignments)
+            if correct is None:
+                continue
+            point = EstimationPoint(assignments=dict(assignments), correct=correct)
+            for label, speech in speeches.items():
+                estimates = []
+                for index in range(self._workers_per_point):
+                    worker = workers[index % len(workers)]
+                    estimates.append(
+                        worker.estimate(speech.facts, assignments, correct, prior)
+                    )
+                    result.hits += 1
+                point.estimates[label] = float(median(estimates))
+            result.points.append(point)
+        return result
+
+    @staticmethod
+    def _correct_value(
+        relation: SummarizationRelation, assignments: Mapping[str, object]
+    ) -> float | None:
+        from repro.core.model import Scope
+
+        value, support = relation.average_target(Scope(dict(assignments)))
+        if support == 0:
+            return None
+        return value

@@ -1,0 +1,128 @@
+"""Speech rating studies (Figures 5 and 11).
+
+Workers rate alternative descriptions of the same data on a 1-10 scale
+for several adjectives ("Precise", "Good", "Complete", "Informative",
+plus "Diverse" and "Concise" for the baseline comparison) and the study
+counts how often each speech wins a pairwise comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.userstudy.worker import WorkerPool
+
+#: Adjectives used in Figure 5.
+DEFAULT_ADJECTIVES = ("Precise", "Good", "Complete", "Informative")
+#: Additional adjectives used in the baseline comparison of Figure 11.
+EXTENDED_ADJECTIVES = DEFAULT_ADJECTIVES + ("Diverse", "Concise")
+
+#: Mild per-adjective offsets: e.g. point-valued speeches are perceived
+#: as slightly more "precise" than "complete".
+_ADJECTIVE_BIAS = {
+    "Precise": 0.2,
+    "Good": 0.0,
+    "Complete": -0.2,
+    "Informative": 0.1,
+    "Diverse": -0.1,
+    "Concise": 0.3,
+}
+
+
+@dataclass(frozen=True)
+class SpeechCandidate:
+    """One speech entered into a rating study.
+
+    ``scaled_utility`` drives the simulated workers' perception;
+    ``precision_bonus`` models presentation effects that are independent
+    of utility (the paper observes that reporting point values instead
+    of ranges boosts "Precise"/"Informative" ratings, Section VIII-E).
+    """
+
+    label: str
+    text: str
+    scaled_utility: float
+    precision_bonus: float = 0.0
+
+
+@dataclass
+class RatingStudyResult:
+    """Aggregated study output.
+
+    ``average_ratings[label][adjective]`` is the mean 1-10 rating;
+    ``wins[label]`` counts pairwise comparison wins across all
+    adjectives and worker pairs (Figure 5 left / Figure 11 left).
+    """
+
+    average_ratings: dict[str, dict[str, float]] = field(default_factory=dict)
+    wins: dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+
+    def ranking(self) -> list[str]:
+        """Candidate labels ordered by average rating over all adjectives."""
+        def overall(label: str) -> float:
+            ratings = self.average_ratings[label]
+            return sum(ratings.values()) / len(ratings)
+
+        return sorted(self.average_ratings, key=overall, reverse=True)
+
+
+class RatingStudy:
+    """Simulates an AMT rating study over a set of speech candidates."""
+
+    def __init__(
+        self,
+        pool: WorkerPool | None = None,
+        adjectives: Sequence[str] = DEFAULT_ADJECTIVES,
+    ):
+        self._pool = pool or WorkerPool()
+        self._adjectives = tuple(adjectives)
+
+    @property
+    def adjectives(self) -> tuple[str, ...]:
+        """Adjectives rated in this study."""
+        return self._adjectives
+
+    def run(self, candidates: Sequence[SpeechCandidate]) -> RatingStudyResult:
+        """Collect ratings and pairwise wins for all candidates."""
+        if len(candidates) < 2:
+            raise ValueError("a rating study needs at least two candidates")
+        result = RatingStudyResult(
+            average_ratings={c.label: {} for c in candidates},
+            wins={c.label: 0 for c in candidates},
+        )
+
+        # Ratings per adjective.
+        totals: dict[str, dict[str, float]] = {
+            c.label: {adj: 0.0 for adj in self._adjectives} for c in candidates
+        }
+        for worker in self._pool:
+            for candidate in candidates:
+                perceived = candidate.scaled_utility + candidate.precision_bonus
+                for adjective in self._adjectives:
+                    bias = _ADJECTIVE_BIAS.get(adjective, 0.0)
+                    totals[candidate.label][adjective] += worker.rate(perceived, bias)
+                    result.hits += 1
+        for candidate in candidates:
+            result.average_ratings[candidate.label] = {
+                adjective: totals[candidate.label][adjective] / len(self._pool)
+                for adjective in self._adjectives
+            }
+
+        # Pairwise comparisons: every worker compares every ordered pair once
+        # per adjective (mirroring the relative-comparison HITs).
+        for worker in self._pool:
+            for first in candidates:
+                for second in candidates:
+                    if first.label >= second.label:
+                        continue
+                    for _ in self._adjectives:
+                        first_quality = first.scaled_utility + first.precision_bonus
+                        second_quality = second.scaled_utility + second.precision_bonus
+                        if worker.prefers(first_quality, second_quality):
+                            result.wins[first.label] += 1
+                        else:
+                            result.wins[second.label] += 1
+                        result.hits += 1
+        return result

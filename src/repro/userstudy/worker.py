@@ -1,0 +1,160 @@
+"""Simulated crowd workers.
+
+A :class:`SimulatedWorker` mimics the behaviour the paper measured on
+Amazon Mechanical Turk:
+
+* When estimating a data point after hearing facts, the worker combines
+  the values of the facts relevant to the point.  Most workers follow
+  the *closest relevant value* strategy (the paper's model of user
+  expectations, confirmed by Figure 7); a configurable minority uses
+  other strategies (averaging, or picking the farthest value), plus
+  multiplicative noise.
+* When rating a speech on a 1-10 scale, the rating is a noisy,
+  monotonically increasing function of the speech's (scaled) utility.
+* When comparing two speeches, the better one wins with a probability
+  that grows with the utility gap.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.model import Fact
+
+
+class WorkerBehaviour(enum.Enum):
+    """Strategies a worker may use to resolve conflicting facts."""
+
+    CLOSEST = "closest"
+    FARTHEST = "farthest"
+    AVERAGE_SCOPE = "avg_scope"
+    AVERAGE_ALL = "avg_all"
+
+
+@dataclass
+class SimulatedWorker:
+    """One simulated crowd worker.
+
+    Parameters
+    ----------
+    behaviour:
+        Conflict-resolution strategy for estimates.
+    noise:
+        Relative noise applied to estimates (0.15 = about ±15%).
+    rating_noise:
+        Absolute noise (standard deviation, on the 1-10 scale) applied
+        to quality ratings.
+    seed:
+        Per-worker RNG seed.
+    """
+
+    behaviour: WorkerBehaviour = WorkerBehaviour.CLOSEST
+    noise: float = 0.15
+    rating_noise: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Estimation behaviour
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        facts: Sequence[Fact],
+        row: Mapping[str, object],
+        true_value: float,
+        prior: float,
+    ) -> float:
+        """Estimate the target value of ``row`` after hearing ``facts``."""
+        relevant = [fact.value for fact in facts if fact.covers_row(row)]
+        all_values = [fact.value for fact in facts]
+        base = self._combine(relevant, all_values, true_value, prior)
+        spread = self.noise * (abs(base) + 1.0)
+        return base + self._rng.gauss(0.0, spread)
+
+    def _combine(
+        self,
+        relevant: list[float],
+        all_values: list[float],
+        true_value: float,
+        prior: float,
+    ) -> float:
+        candidates = relevant + [prior]
+        if self.behaviour is WorkerBehaviour.CLOSEST:
+            return min(candidates, key=lambda v: abs(v - true_value))
+        if self.behaviour is WorkerBehaviour.FARTHEST:
+            return max(candidates, key=lambda v: abs(v - true_value))
+        if self.behaviour is WorkerBehaviour.AVERAGE_SCOPE:
+            return sum(relevant) / len(relevant) if relevant else prior
+        if all_values:
+            return sum(all_values) / len(all_values)
+        return prior
+
+    # ------------------------------------------------------------------
+    # Rating behaviour
+    # ------------------------------------------------------------------
+    def rate(self, scaled_utility: float, adjective_bias: float = 0.0) -> float:
+        """Rate a speech on a 1-10 scale given its scaled utility."""
+        base = 4.5 + 4.0 * max(0.0, min(1.0, scaled_utility)) + adjective_bias
+        rating = base + self._rng.gauss(0.0, self.rating_noise)
+        return max(1.0, min(10.0, rating))
+
+    def prefers(self, scaled_utility_a: float, scaled_utility_b: float) -> bool:
+        """True when the worker prefers speech A over speech B."""
+        gap = scaled_utility_a - scaled_utility_b
+        probability = 1.0 / (1.0 + pow(2.718281828, -6.0 * gap))
+        return self._rng.random() < probability
+
+
+class WorkerPool:
+    """A population of simulated workers.
+
+    The default composition follows the paper's Figure 7 finding: the
+    closest-value strategy explains workers best, but not perfectly, so
+    a minority of workers use other strategies.
+    """
+
+    def __init__(
+        self,
+        size: int = 50,
+        seed: int = 13,
+        closest_fraction: float = 0.7,
+        average_fraction: float = 0.2,
+        noise: float = 0.15,
+    ):
+        if size < 1:
+            raise ValueError("worker pool size must be at least 1")
+        if not 0.0 <= closest_fraction + average_fraction <= 1.0:
+            raise ValueError("behaviour fractions must sum to at most 1")
+        rng = random.Random(seed)
+        self._workers: list[SimulatedWorker] = []
+        for index in range(size):
+            draw = rng.random()
+            if draw < closest_fraction:
+                behaviour = WorkerBehaviour.CLOSEST
+            elif draw < closest_fraction + average_fraction:
+                behaviour = WorkerBehaviour.AVERAGE_SCOPE
+            else:
+                behaviour = WorkerBehaviour.FARTHEST
+            self._workers.append(
+                SimulatedWorker(
+                    behaviour=behaviour,
+                    noise=noise,
+                    seed=rng.randrange(1 << 30),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self):
+        return iter(self._workers)
+
+    @property
+    def workers(self) -> list[SimulatedWorker]:
+        """The pool's workers."""
+        return list(self._workers)

@@ -1,0 +1,115 @@
+"""Property-based tests across the summarization algorithms.
+
+Random problem instances are generated (small relations, random fact
+candidates derived from the data) and the paper's formal guarantees are
+verified on each:
+
+* the exact algorithm matches a brute-force optimum (Corollary 1),
+* the greedy algorithm achieves at least (1 − 1/e) of the optimum
+  (Theorem 3) — in practice far more,
+* the pruned greedy variants return exactly the greedy quality,
+* bound pruning in the exact algorithm never changes the optimum
+  (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.exact import ExactSummarizer
+from repro.algorithms.greedy import GreedySummarizer
+from repro.algorithms.pruned_greedy import OptimizedGreedySummarizer, PrunedGreedySummarizer
+from repro.core.model import SummarizationRelation
+from repro.core.priors import ConstantPrior
+from repro.core.problem import SummarizationProblem
+from repro.facts.generation import FactGenerator
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+_DIM1 = ["a", "b", "c"]
+_DIM2 = ["x", "y"]
+
+
+@st.composite
+def random_problems(draw):
+    """Random small summarization problems with data-derived candidate facts."""
+    num_rows = draw(st.integers(min_value=4, max_value=12))
+    dim1 = draw(st.lists(st.sampled_from(_DIM1), min_size=num_rows, max_size=num_rows))
+    dim2 = draw(st.lists(st.sampled_from(_DIM2), min_size=num_rows, max_size=num_rows))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    table = Table(
+        "random",
+        [
+            Column.categorical("d1", dim1),
+            Column.categorical("d2", dim2),
+            Column.numeric("v", values),
+        ],
+    )
+    relation = SummarizationRelation(table, ["d1", "d2"], "v")
+    max_extra = draw(st.integers(min_value=1, max_value=2))
+    facts = FactGenerator(relation, max_extra_dimensions=max_extra).generate().facts
+    max_facts = draw(st.integers(min_value=1, max_value=3))
+    prior_value = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    return SummarizationProblem(
+        relation=relation,
+        candidate_facts=facts,
+        max_facts=max_facts,
+        prior=ConstantPrior(prior_value),
+    )
+
+
+def brute_force_optimum(problem) -> float:
+    evaluator = problem.evaluator()
+    facts = list(problem.candidate_facts)
+    size = min(problem.max_facts, len(facts))
+    best = 0.0
+    for combo in combinations(facts, size):
+        best = max(best, evaluator.utility(combo))
+    return best
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problems())
+def test_exact_matches_brute_force(problem):
+    result = ExactSummarizer().summarize(problem)
+    assert math.isclose(result.utility, brute_force_optimum(problem), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problems())
+def test_greedy_guarantee_holds(problem):
+    optimum = brute_force_optimum(problem)
+    greedy = GreedySummarizer().summarize(problem)
+    assert greedy.utility >= (1 - 1 / math.e) * optimum - 1e-6
+    assert greedy.utility <= optimum + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problems())
+def test_pruned_variants_match_greedy(problem):
+    base = GreedySummarizer().summarize(problem).utility
+    assert math.isclose(
+        PrunedGreedySummarizer().summarize(problem).utility, base, rel_tol=1e-9, abs_tol=1e-6
+    )
+    assert math.isclose(
+        OptimizedGreedySummarizer().summarize(problem).utility, base, rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problems())
+def test_exact_bound_pruning_preserves_optimum(problem):
+    with_pruning = ExactSummarizer(use_bound_pruning=True).summarize(problem)
+    without_pruning = ExactSummarizer(use_bound_pruning=False).summarize(problem)
+    assert math.isclose(
+        with_pruning.utility, without_pruning.utility, rel_tol=1e-9, abs_tol=1e-6
+    )

@@ -1,0 +1,105 @@
+"""Unit tests for the pruning cost model (Section VI-C)."""
+
+import pytest
+
+from repro.algorithms.cost_model import PruningCostModel, PruningPlan, _standard_normal_cdf
+from repro.facts.groups import FactGroup
+from repro.relational.catalog import TableStatistics
+from repro.relational.planner import CostEstimator
+
+
+@pytest.fixture()
+def cost_model(example_relation):
+    statistics = TableStatistics.from_table(example_relation.table)
+    fact_counts = {
+        FactGroup([]): 1,
+        FactGroup(["region"]): 4,
+        FactGroup(["season"]): 4,
+        FactGroup(["region", "season"]): 16,
+    }
+    return PruningCostModel(fact_counts, CostEstimator(statistics), sigma=0.25)
+
+
+ALL_GROUPS = [
+    FactGroup([]),
+    FactGroup(["region"]),
+    FactGroup(["season"]),
+    FactGroup(["region", "season"]),
+]
+
+
+class TestNormalCdf:
+    def test_symmetry(self):
+        assert _standard_normal_cdf(0.0) == pytest.approx(0.5)
+        assert _standard_normal_cdf(2.0) + _standard_normal_cdf(-2.0) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        assert _standard_normal_cdf(-1.0) < _standard_normal_cdf(0.0) < _standard_normal_cdf(1.0)
+
+
+class TestProbabilities:
+    def test_small_source_dominates_large_target(self, cost_model):
+        small = FactGroup([])
+        large = FactGroup(["region", "season"])
+        assert cost_model.prune_probability(small, large) > 0.5
+        assert cost_model.prune_probability(large, small) < 0.5
+
+    def test_equal_groups_are_a_coin_flip(self, cost_model):
+        region = FactGroup(["region"])
+        season = FactGroup(["season"])
+        assert cost_model.prune_probability(region, season) == pytest.approx(0.5)
+
+    def test_target_prune_probability_combines_sources(self, cost_model):
+        target = FactGroup(["region", "season"])
+        one = cost_model.target_prune_probability(target, [FactGroup([])])
+        both = cost_model.target_prune_probability(
+            target, [FactGroup([]), FactGroup(["region"])]
+        )
+        assert both >= one
+        assert cost_model.target_prune_probability(target, []) == 0.0
+
+    def test_group_survival_probability(self, cost_model):
+        sources = [FactGroup([])]
+        targets = [FactGroup(["region"])]
+        survival_specialized = cost_model.group_survival_probability(
+            FactGroup(["region", "season"]), sources, targets
+        )
+        survival_unrelated = cost_model.group_survival_probability(
+            FactGroup(["season"]), sources, targets
+        )
+        # The specialization of a target can be pruned; an unrelated group cannot.
+        assert survival_specialized < 1.0
+        assert survival_unrelated == pytest.approx(1.0)
+
+
+class TestPlanCost:
+    def test_trivial_plan_cost_is_total_utility_cost(self, cost_model):
+        plan = PruningPlan((), ())
+        expected = sum(cost_model.utility_cost(g) for g in ALL_GROUPS)
+        assert cost_model.plan_cost(plan, ALL_GROUPS) == pytest.approx(expected)
+
+    def test_effective_pruning_reduces_expected_cost(self, cost_model):
+        trivial = PruningPlan((), ())
+        pruning = PruningPlan(
+            sources=(FactGroup([]),),
+            targets=(FactGroup(["region", "season"]),),
+        )
+        assert cost_model.plan_cost(pruning, ALL_GROUPS) < cost_model.plan_cost(
+            trivial, ALL_GROUPS
+        )
+
+    def test_fact_count_falls_back_to_estimator(self, example_relation):
+        statistics = TableStatistics.from_table(example_relation.table)
+        model = PruningCostModel({}, CostEstimator(statistics))
+        assert model.fact_count(FactGroup(["region"])) == 4
+
+    def test_invalid_sigma_rejected(self, example_relation):
+        statistics = TableStatistics.from_table(example_relation.table)
+        with pytest.raises(ValueError):
+            PruningCostModel({}, CostEstimator(statistics), sigma=0.0)
+
+    def test_plan_repr_and_trivial_flag(self):
+        assert PruningPlan((), ()).is_trivial
+        plan = PruningPlan((FactGroup(["a"]),), (FactGroup(["b"]),))
+        assert not plan.is_trivial
+        assert "a" in repr(plan)

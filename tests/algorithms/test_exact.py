@@ -1,0 +1,81 @@
+"""Unit tests for the exact summarizer (Algorithm 1)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.algorithms.exact import ExactSummarizer
+from repro.algorithms.greedy import GreedySummarizer
+from repro.core.priors import ZeroPrior
+from repro.core.problem import SummarizationProblem
+from repro.core.utility import UtilityEvaluator
+
+
+def brute_force_optimum(problem) -> float:
+    """Reference optimum by enumerating every fact combination."""
+    evaluator = problem.evaluator()
+    best = 0.0
+    facts = list(problem.candidate_facts)
+    size = min(problem.max_facts, len(facts))
+    for combo in combinations(facts, size):
+        best = max(best, evaluator.utility(combo))
+    return best
+
+
+class TestExactOptimality:
+    def test_matches_brute_force_two_facts(self, small_problem):
+        result = ExactSummarizer().summarize(small_problem)
+        assert result.utility == pytest.approx(brute_force_optimum(small_problem))
+        assert result.utility == pytest.approx(168.75)
+
+    def test_matches_brute_force_three_facts(self, example_problem):
+        result = ExactSummarizer().summarize(example_problem)
+        assert result.utility == pytest.approx(brute_force_optimum(example_problem))
+        assert result.utility == pytest.approx(175.9375)
+
+    def test_at_least_as_good_as_greedy(self, example_problem):
+        exact = ExactSummarizer().summarize(example_problem)
+        greedy = GreedySummarizer().summarize(example_problem)
+        assert exact.utility >= greedy.utility - 1e-9
+
+    def test_without_bound_pruning_same_result(self, small_problem):
+        pruned = ExactSummarizer(use_bound_pruning=True).summarize(small_problem)
+        unpruned = ExactSummarizer(use_bound_pruning=False).summarize(small_problem)
+        assert pruned.utility == pytest.approx(unpruned.utility)
+
+    def test_pruning_reduces_partial_speeches(self, example_problem):
+        pruned = ExactSummarizer(use_bound_pruning=True).summarize(example_problem)
+        unpruned = ExactSummarizer(use_bound_pruning=False).summarize(example_problem)
+        assert (
+            pruned.statistics.speeches_considered
+            <= unpruned.statistics.speeches_considered
+        )
+        assert pruned.statistics.speeches_pruned >= 0
+        assert unpruned.statistics.speeches_pruned == 0
+
+    def test_speech_length_bounded_by_candidates(self, example_relation):
+        facts = [example_relation.make_fact({"region": "North"})]
+        problem = SummarizationProblem(
+            relation=example_relation,
+            candidate_facts=facts,
+            max_facts=3,
+            prior=ZeroPrior(),
+        )
+        result = ExactSummarizer().summarize(problem)
+        assert result.speech.length == 1
+        assert result.utility == pytest.approx(60.0)
+
+    def test_partial_speech_budget_enforced(self, example_problem):
+        tight = ExactSummarizer(use_bound_pruning=False, max_partial_speeches=5)
+        with pytest.raises(RuntimeError):
+            tight.summarize(example_problem)
+
+    def test_custom_lower_bound_summarizer(self, small_problem):
+        # Using greedy explicitly as the bound provider must not change the optimum.
+        result = ExactSummarizer(lower_bound_summarizer=GreedySummarizer()).summarize(
+            small_problem
+        )
+        assert result.utility == pytest.approx(168.75)
+
+    def test_algorithm_name(self, small_problem):
+        assert ExactSummarizer().summarize(small_problem).algorithm == "E"

@@ -1,0 +1,83 @@
+"""Unit tests for the pruning plan optimizer (Algorithm 4 + OPT_PRUNE)."""
+
+import pytest
+
+from repro.algorithms.cost_model import PruningCostModel, PruningPlan
+from repro.algorithms.plan_optimizer import PruningPlanOptimizer, generate_candidate_plans
+from repro.facts.groups import FactGroup
+from repro.relational.catalog import TableStatistics
+from repro.relational.planner import CostEstimator
+
+GROUPS = [
+    FactGroup([]),
+    FactGroup(["region"]),
+    FactGroup(["season"]),
+    FactGroup(["region", "season"]),
+]
+FACT_COUNTS = {
+    FactGroup([]): 1,
+    FactGroup(["region"]): 4,
+    FactGroup(["season"]): 4,
+    FactGroup(["region", "season"]): 16,
+}
+
+
+@pytest.fixture()
+def cost_model(example_relation):
+    statistics = TableStatistics.from_table(example_relation.table)
+    return PruningCostModel(FACT_COUNTS, CostEstimator(statistics))
+
+
+class TestCandidateGeneration:
+    def test_always_includes_trivial_plan(self, cost_model):
+        plans = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model)
+        assert PruningPlan((), ()) in plans
+
+    def test_sources_are_prefixes_by_fact_count(self, cost_model):
+        plans = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model)
+        for plan in plans:
+            if not plan.sources:
+                continue
+            source_counts = [FACT_COUNTS[s] for s in plan.sources]
+            outside = [FACT_COUNTS[g] for g in GROUPS if g not in plan.sources]
+            # No group outside the sources has fewer facts than a source.
+            assert not outside or max(source_counts) <= min(outside)
+
+    def test_targets_never_overlap_sources(self, cost_model):
+        plans = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model)
+        for plan in plans:
+            assert not set(plan.sources) & set(plan.targets)
+
+    def test_single_group_yields_only_trivial_plan(self, cost_model):
+        plans = generate_candidate_plans([FactGroup([])], {FactGroup([]): 1}, cost_model)
+        assert plans == [PruningPlan((), ())]
+
+    def test_max_source_prefix_limits_plans(self, cost_model):
+        few = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model, max_source_prefix=1)
+        many = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model, max_source_prefix=3)
+        assert len(few) <= len(many)
+
+
+class TestOptimizer:
+    def test_chooses_minimum_cost_candidate(self, cost_model):
+        optimizer = PruningPlanOptimizer(cost_model)
+        chosen = optimizer.choose_plan(GROUPS, FACT_COUNTS)
+        candidates = generate_candidate_plans(GROUPS, FACT_COUNTS, cost_model, 4)
+        best_cost = min(cost_model.plan_cost(p, GROUPS) for p in candidates)
+        assert cost_model.plan_cost(chosen, GROUPS) == pytest.approx(best_cost)
+
+    def test_naive_plan_uses_smallest_group_as_source(self, cost_model):
+        optimizer = PruningPlanOptimizer(cost_model)
+        plan = optimizer.naive_plan(GROUPS, FACT_COUNTS)
+        assert plan.sources == (FactGroup([]),)
+        assert set(plan.targets) == set(GROUPS) - {FactGroup([])}
+
+    def test_naive_plan_with_single_group_is_trivial(self, cost_model):
+        optimizer = PruningPlanOptimizer(cost_model)
+        assert optimizer.naive_plan([FactGroup([])], {FactGroup([]): 1}).is_trivial
+
+    def test_chosen_plan_never_worse_than_trivial(self, cost_model):
+        optimizer = PruningPlanOptimizer(cost_model)
+        chosen = optimizer.choose_plan(GROUPS, FACT_COUNTS)
+        trivial_cost = cost_model.plan_cost(PruningPlan((), ()), GROUPS)
+        assert cost_model.plan_cost(chosen, GROUPS) <= trivial_cost + 1e-9

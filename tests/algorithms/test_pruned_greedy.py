@@ -1,0 +1,51 @@
+"""Unit tests for the pruned greedy summarizers (G-P and G-O)."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedySummarizer
+from repro.algorithms.pruned_greedy import OptimizedGreedySummarizer, PrunedGreedySummarizer
+
+
+class TestQualityEquivalence:
+    """Both pruned variants must return speeches of the same quality as G-B:
+    pruning only skips facts that provably cannot have maximal gain."""
+
+    def test_gp_matches_greedy_utility(self, example_problem):
+        base = GreedySummarizer().summarize(example_problem)
+        pruned = PrunedGreedySummarizer().summarize(example_problem)
+        assert pruned.utility == pytest.approx(base.utility)
+
+    def test_go_matches_greedy_utility(self, example_problem):
+        base = GreedySummarizer().summarize(example_problem)
+        optimized = OptimizedGreedySummarizer().summarize(example_problem)
+        assert optimized.utility == pytest.approx(base.utility)
+
+    def test_two_fact_problem(self, small_problem):
+        base = GreedySummarizer().summarize(small_problem)
+        for algorithm in (PrunedGreedySummarizer(), OptimizedGreedySummarizer()):
+            assert algorithm.summarize(small_problem).utility == pytest.approx(base.utility)
+
+
+class TestWorkAccounting:
+    def test_pruning_never_increases_gain_evaluations(self, example_problem):
+        base = GreedySummarizer().summarize(example_problem)
+        for algorithm in (PrunedGreedySummarizer(), OptimizedGreedySummarizer()):
+            outcome = algorithm.summarize(example_problem)
+            assert (
+                outcome.statistics.fact_evaluations
+                <= base.statistics.fact_evaluations
+            )
+
+    def test_names(self, small_problem):
+        assert PrunedGreedySummarizer().summarize(small_problem).algorithm == "G-P"
+        assert OptimizedGreedySummarizer().summarize(small_problem).algorithm == "G-O"
+
+    def test_speech_length_respected(self, example_problem):
+        for algorithm in (PrunedGreedySummarizer(), OptimizedGreedySummarizer()):
+            outcome = algorithm.summarize(example_problem)
+            assert outcome.speech.length <= example_problem.max_facts
+            assert len(set(outcome.speech.facts)) == outcome.speech.length
+
+    def test_statistics_have_time(self, example_problem):
+        outcome = OptimizedGreedySummarizer().summarize(example_problem)
+        assert outcome.statistics.elapsed_seconds > 0

@@ -1,0 +1,114 @@
+"""Unit tests for fact-group pruning (Algorithm 3)."""
+
+import pytest
+
+from repro.algorithms.base import SummarizerStatistics
+from repro.algorithms.cost_model import PruningPlan
+from repro.algorithms.pruning import FactGroupPruner, group_facts, group_of_fact
+from repro.core.model import Fact, Scope
+from repro.facts.groups import FactGroup
+
+
+class TestGrouping:
+    def test_group_of_fact(self):
+        fact = Fact(scope=Scope({"region": "East", "season": "Winter"}), value=1.0, support=1)
+        assert group_of_fact(fact) == FactGroup(["region", "season"])
+
+    def test_group_facts_partitions(self, example_facts):
+        by_group = group_facts(example_facts.facts)
+        assert sum(len(v) for v in by_group.values()) == example_facts.count
+        assert set(by_group) == {
+            FactGroup([]),
+            FactGroup(["region"]),
+            FactGroup(["season"]),
+            FactGroup(["region", "season"]),
+        }
+
+
+class TestComputeGains:
+    def _pruner(self, example_facts, example_evaluator) -> FactGroupPruner:
+        return FactGroupPruner(group_facts(example_facts.facts), example_evaluator)
+
+    def test_trivial_plan_computes_all_gains(self, example_facts, example_evaluator):
+        pruner = self._pruner(example_facts, example_evaluator)
+        stats = SummarizerStatistics()
+        outcome = pruner.compute_gains(
+            example_evaluator.initial_state(), PruningPlan((), ()), stats
+        )
+        assert len(outcome.gains) == example_facts.count
+        assert not outcome.pruned_groups
+        assert stats.fact_evaluations == example_facts.count
+
+    def test_best_fact_is_global_maximum(self, example_facts, example_evaluator):
+        pruner = self._pruner(example_facts, example_evaluator)
+        stats = SummarizerStatistics()
+        state = example_evaluator.initial_state()
+        outcome = pruner.compute_gains(state, PruningPlan((), ()), stats)
+        best_fact, best_gain = outcome.best_fact()
+        expected = max(
+            example_evaluator.incremental_gain(f, state) for f in example_facts.facts
+        )
+        assert best_gain == pytest.approx(expected)
+        assert best_fact is not None
+
+    def test_pruning_never_hides_the_best_fact(self, example_facts, example_evaluator):
+        by_group = group_facts(example_facts.facts)
+        pruner = FactGroupPruner(by_group, example_evaluator)
+        state = example_evaluator.initial_state()
+        # Source: the overall fact (empty group); targets: everything else.
+        plan = PruningPlan(
+            sources=(FactGroup([]),),
+            targets=(FactGroup(["region", "season"]), FactGroup(["region"]), FactGroup(["season"])),
+        )
+        stats = SummarizerStatistics()
+        outcome = pruner.compute_gains(state, plan, stats)
+        _, best_gain = outcome.best_fact()
+        expected = max(
+            example_evaluator.incremental_gain(f, state) for f in example_facts.facts
+        )
+        assert best_gain == pytest.approx(expected)
+
+    def test_pruned_groups_are_dominated(self, example_facts, example_evaluator):
+        by_group = group_facts(example_facts.facts)
+        pruner = FactGroupPruner(by_group, example_evaluator)
+        state = example_evaluator.initial_state()
+        plan = PruningPlan(
+            sources=(FactGroup([]),),
+            targets=(FactGroup(["region", "season"]), FactGroup(["region"]), FactGroup(["season"])),
+        )
+        stats = SummarizerStatistics()
+        outcome = pruner.compute_gains(state, plan, stats)
+        max_source_gain = max(
+            example_evaluator.incremental_gain(f, state) for f in by_group[FactGroup([])]
+        )
+        for group in outcome.pruned_groups:
+            bound = example_evaluator.max_group_bound(list(group.dimensions), state)
+            # A pruned group's bound must be dominated by the source
+            # (directly or through a generalisation it specializes).
+            assert bound <= max_source_gain + 1e-9 or any(
+                group.is_specialization_of(t)
+                and example_evaluator.max_group_bound(list(t.dimensions), state)
+                < max_source_gain
+                for t in plan.targets
+            )
+
+    def test_excluded_facts_are_skipped(self, example_facts, example_evaluator):
+        pruner = self._pruner(example_facts, example_evaluator)
+        stats = SummarizerStatistics()
+        excluded = {example_facts.facts[0]}
+        outcome = pruner.compute_gains(
+            example_evaluator.initial_state(), PruningPlan((), ()), stats, excluded=excluded
+        )
+        assert example_facts.facts[0] not in outcome.gains
+        assert len(outcome.gains) == example_facts.count - 1
+
+    def test_bound_evaluations_counted(self, example_facts, example_evaluator):
+        by_group = group_facts(example_facts.facts)
+        pruner = FactGroupPruner(by_group, example_evaluator)
+        plan = PruningPlan(
+            sources=(FactGroup([]),),
+            targets=(FactGroup(["region"]),),
+        )
+        stats = SummarizerStatistics()
+        pruner.compute_gains(example_evaluator.initial_state(), plan, stats)
+        assert stats.bound_evaluations == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the sampling-based baseline (Section VIII-E)."""
+
+import pytest
+
+from repro.algorithms.sampling_baseline import RangeFact, SamplingBaselineSummarizer
+from repro.core.model import Scope
+
+
+class TestRangeFact:
+    def test_to_fact(self):
+        range_fact = RangeFact(
+            scope=Scope({"season": "Winter"}), low=10.0, high=20.0, point=15.0, support=4
+        )
+        fact = range_fact.to_fact()
+        assert fact.value == 15.0
+        assert fact.scope == Scope({"season": "Winter"})
+        assert fact.support == 4
+
+
+class TestSamplingBaseline:
+    def test_produces_ranges_and_timings(self, example_problem):
+        baseline = SamplingBaselineSummarizer(sample_fraction=0.5, rounds=2, seed=3)
+        summary = baseline.vocalize(example_problem)
+        assert 1 <= len(summary.range_facts) <= example_problem.max_facts
+        assert summary.total_time > 0
+        assert 0 < summary.first_sentence_latency <= summary.total_time + 1e-9
+        assert summary.sample_rows > 0
+        for range_fact in summary.range_facts:
+            assert range_fact.low <= range_fact.point <= range_fact.high
+
+    def test_selected_facts_are_candidates(self, example_problem):
+        baseline = SamplingBaselineSummarizer(sample_fraction=0.5, rounds=2, seed=3)
+        summary = baseline.vocalize(example_problem)
+        candidates = set(example_problem.candidate_facts)
+        assert all(fact in candidates for fact in summary.selected_facts)
+        assert summary.candidate_speech().length == len(summary.selected_facts)
+
+    def test_summarizer_interface(self, example_problem):
+        baseline = SamplingBaselineSummarizer(sample_fraction=0.5, seed=3)
+        result = baseline.summarize(example_problem)
+        assert result.algorithm == "SAMPLING"
+        assert result.speech.length >= 1
+        # Sampling cannot beat the exhaustive optimum.
+        assert result.utility <= 175.9375 + 1e-6
+
+    def test_deterministic_given_seed(self, example_problem):
+        a = SamplingBaselineSummarizer(seed=11).vocalize(example_problem)
+        b = SamplingBaselineSummarizer(seed=11).vocalize(example_problem)
+        assert [rf.scope for rf in a.range_facts] == [rf.scope for rf in b.range_facts]
+
+    def test_full_sample_matches_greedy_choice_quality(self, example_problem):
+        """With a 100% sample the baseline follows exact greedy gains."""
+        from repro.algorithms.greedy import GreedySummarizer
+
+        baseline = SamplingBaselineSummarizer(sample_fraction=1.0, rounds=1, seed=5)
+        greedy = GreedySummarizer().summarize(example_problem)
+        evaluator = example_problem.evaluator()
+        summary = baseline.vocalize(example_problem)
+        assert evaluator.utility(summary.candidate_speech()) == pytest.approx(
+            greedy.utility
+        )
+
+    def test_mean_relative_range_width(self, example_problem):
+        summary = SamplingBaselineSummarizer(sample_fraction=0.3, seed=3).vocalize(
+            example_problem
+        )
+        assert summary.mean_relative_range_width >= 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingBaselineSummarizer(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            SamplingBaselineSummarizer(rounds=0)

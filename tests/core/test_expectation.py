@@ -1,0 +1,114 @@
+"""Unit tests for the user expectation models (repro.core.expectation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expectation import (
+    AverageOfAllFactsModel,
+    AverageOfScopeFactsModel,
+    ClosestRelevantFactModel,
+    FarthestRelevantFactModel,
+    available_models,
+)
+from repro.core.model import Fact, Scope
+
+
+def _fact(assignments, value):
+    return Fact(scope=Scope(assignments), value=value, support=1)
+
+
+@pytest.fixture()
+def prior(example_relation):
+    return np.zeros(example_relation.num_rows)
+
+
+@pytest.fixture()
+def conflicting_facts():
+    """Two facts that both cover North/Winter rows with different values."""
+    return [_fact({"region": "North"}, 14.0), _fact({"season": "Winter"}, 16.0)]
+
+
+class TestClosestModel:
+    def test_no_facts_returns_prior(self, example_relation, prior):
+        expected = ClosestRelevantFactModel().expectations(example_relation, [], prior)
+        assert np.all(expected == 0.0)
+
+    def test_single_fact_applies_within_scope_only(self, example_relation, prior):
+        fact = _fact({"region": "North"}, 15.0)
+        expected = ClosestRelevantFactModel().expectations(example_relation, [fact], prior)
+        north_mask = example_relation.scope_mask(Scope({"region": "North"}))
+        assert np.all(expected[north_mask] == 15.0)
+        assert np.all(expected[~north_mask] == 0.0)
+
+    def test_conflict_resolved_to_closest_value(self, example_relation, prior, conflicting_facts):
+        # North/Winter rows have a true delay of 15: value 14 is closer than 16.
+        expected = ClosestRelevantFactModel().expectations(
+            example_relation, conflicting_facts, prior
+        )
+        both_mask = example_relation.scope_mask(Scope({"region": "North", "season": "Winter"}))
+        assert np.all(expected[both_mask] == 14.0)
+
+    def test_prior_kept_when_closer_than_facts(self, example_relation):
+        # Prior of 10 is closer than the fact value 20 for rows with delay 10.
+        prior = np.full(example_relation.num_rows, 10.0)
+        fact = _fact({}, 20.0)
+        expected = ClosestRelevantFactModel().expectations(example_relation, [fact], prior)
+        truth = example_relation.target_values
+        assert np.all(expected[truth == 10.0] == 10.0)
+        assert np.all(expected[truth == 20.0] == 20.0)
+
+
+class TestFarthestModel:
+    def test_conflict_resolved_to_farthest_value(self, example_relation, prior, conflicting_facts):
+        expected = FarthestRelevantFactModel().expectations(
+            example_relation, conflicting_facts, prior
+        )
+        both_mask = example_relation.scope_mask(Scope({"region": "North", "season": "Winter"}))
+        # The prior 0 is even farther from 15 than either fact, so it wins.
+        assert np.all(expected[both_mask] == 0.0)
+
+    def test_with_nonzero_prior(self, example_relation, conflicting_facts):
+        # With a prior equal to the truth (15), both fact values (14 and 16)
+        # are equally far; the model must switch away from the prior.
+        prior = np.full(example_relation.num_rows, 15.0)
+        expected = FarthestRelevantFactModel().expectations(
+            example_relation, conflicting_facts, prior
+        )
+        both_mask = example_relation.scope_mask(Scope({"region": "North", "season": "Winter"}))
+        assert np.all(np.isin(expected[both_mask], [14.0, 16.0]))
+
+
+class TestAverageModels:
+    def test_average_of_scope_facts(self, example_relation, prior, conflicting_facts):
+        expected = AverageOfScopeFactsModel().expectations(
+            example_relation, conflicting_facts, prior
+        )
+        both_mask = example_relation.scope_mask(Scope({"region": "North", "season": "Winter"}))
+        only_north = example_relation.scope_mask(
+            Scope({"region": "North"})
+        ) & ~example_relation.scope_mask(Scope({"season": "Winter"}))
+        assert np.all(expected[both_mask] == pytest.approx(15.0))
+        assert np.all(expected[only_north] == 14.0)
+
+    def test_average_of_scope_facts_falls_back_to_prior(self, example_relation, prior):
+        fact = _fact({"region": "North"}, 14.0)
+        expected = AverageOfScopeFactsModel().expectations(example_relation, [fact], prior)
+        outside = ~example_relation.scope_mask(Scope({"region": "North"}))
+        assert np.all(expected[outside] == 0.0)
+
+    def test_average_of_all_facts_ignores_relevance(self, example_relation, prior, conflicting_facts):
+        expected = AverageOfAllFactsModel().expectations(
+            example_relation, conflicting_facts, prior
+        )
+        assert np.all(expected == pytest.approx(15.0))
+
+    def test_average_of_all_facts_empty(self, example_relation, prior):
+        expected = AverageOfAllFactsModel().expectations(example_relation, [], prior)
+        assert np.all(expected == 0.0)
+
+
+class TestRegistry:
+    def test_available_models_keys(self):
+        models = available_models()
+        assert set(models) == {"closest", "farthest", "avg_scope", "avg_all"}
+        assert all(model.name == key for key, model in models.items())

@@ -1,0 +1,45 @@
+"""Unit tests for repro.core.priors."""
+
+import numpy as np
+
+from repro.core.model import Scope
+from repro.core.priors import ConstantPrior, GlobalAveragePrior, PerRowPrior, ZeroPrior
+
+
+class TestZeroPrior:
+    def test_values(self, example_relation):
+        values = ZeroPrior().values(example_relation)
+        assert values.shape == (16,)
+        assert np.all(values == 0.0)
+
+    def test_describe(self):
+        assert "zero" in ZeroPrior().describe()
+
+
+class TestConstantPrior:
+    def test_values(self, example_relation):
+        values = ConstantPrior(7.5).values(example_relation)
+        assert np.all(values == 7.5)
+        assert ConstantPrior(7.5).value == 7.5
+
+    def test_describe_includes_value(self):
+        assert "7.5" in ConstantPrior(7.5).describe()
+
+
+class TestGlobalAveragePrior:
+    def test_values_equal_target_mean(self, example_relation):
+        expected = float(example_relation.target_values.mean())
+        values = GlobalAveragePrior().values(example_relation)
+        assert np.allclose(values, expected)
+
+
+class TestPerRowPrior:
+    def test_values_follow_function(self, example_relation):
+        prior = PerRowPrior(lambda row: 20.0 if row["season"] == "Winter" else 0.0)
+        values = prior.values(example_relation)
+        winter_mask = example_relation.scope_mask(Scope({"season": "Winter"}))
+        assert np.all(values[winter_mask] == 20.0)
+        assert np.all(values[~winter_mask] == 0.0)
+
+    def test_describe_is_custom(self):
+        assert PerRowPrior(lambda row: 0.0, description="history").describe() == "history"

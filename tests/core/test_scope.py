@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.model.Scope."""
+
+import pytest
+
+from repro.core.model import Scope
+
+
+class TestScopeBasics:
+    def test_empty_scope(self):
+        scope = Scope()
+        assert len(scope) == 0
+        assert not scope
+        assert scope.columns == ()
+        assert scope.assignments == {}
+
+    def test_assignments_are_sorted_by_column(self):
+        scope = Scope({"season": "Winter", "region": "East"})
+        assert scope.columns == ("region", "season")
+        assert list(scope) == [("region", "East"), ("season", "Winter")]
+
+    def test_value_and_restricts(self):
+        scope = Scope({"region": "East"})
+        assert scope.value("region") == "East"
+        assert scope.restricts("region")
+        assert not scope.restricts("season")
+        with pytest.raises(KeyError):
+            scope.value("season")
+
+    def test_equality_and_hash(self):
+        a = Scope({"region": "East", "season": "Winter"})
+        b = Scope({"season": "Winter", "region": "East"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Scope({"region": "East"})
+
+    def test_usable_as_dict_key(self):
+        mapping = {Scope({"a": 1}): "x"}
+        assert mapping[Scope({"a": 1})] == "x"
+
+    def test_repr_mentions_assignments(self):
+        assert "region" in repr(Scope({"region": "East"}))
+        assert "all rows" in repr(Scope())
+
+
+class TestScopeRelations:
+    def test_is_subscope_of(self):
+        general = Scope({"region": "East"})
+        specific = Scope({"region": "East", "season": "Winter"})
+        assert general.is_subscope_of(specific)
+        assert not specific.is_subscope_of(general)
+        assert Scope().is_subscope_of(general)
+
+    def test_is_subscope_requires_equal_values(self):
+        assert not Scope({"region": "East"}).is_subscope_of(Scope({"region": "West"}))
+
+    def test_contains_row(self):
+        scope = Scope({"region": "East", "season": "Winter"})
+        assert scope.contains_row({"region": "East", "season": "Winter", "delay": 5})
+        assert not scope.contains_row({"region": "East", "season": "Summer"})
+        assert Scope().contains_row({"anything": 1})
+
+    def test_merged_with_compatible(self):
+        merged = Scope({"region": "East"}).merged_with(Scope({"season": "Winter"}))
+        assert merged == Scope({"region": "East", "season": "Winter"})
+
+    def test_merged_with_conflict_returns_none(self):
+        assert Scope({"region": "East"}).merged_with(Scope({"region": "West"})) is None
+
+    def test_merged_with_same_value_is_fine(self):
+        merged = Scope({"region": "East"}).merged_with(Scope({"region": "East"}))
+        assert merged == Scope({"region": "East"})

@@ -1,0 +1,49 @@
+"""Unit tests for the dataset registry and Table I overview."""
+
+import pytest
+
+from repro.datasets.registry import available_datasets, dataset_overview, load_dataset
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert available_datasets() == ["acs", "flights", "primaries", "stackoverflow"]
+
+    def test_load_dataset_defaults(self):
+        dataset = load_dataset("acs")
+        assert dataset.num_rows == 900
+        assert dataset.spec.key == "acs"
+
+    def test_load_dataset_with_rows(self):
+        dataset = load_dataset("primaries", num_rows=123)
+        assert dataset.num_rows == 123
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imdb")
+
+    def test_relations_build_for_every_dataset_and_target(self):
+        for key in available_datasets():
+            dataset = load_dataset(key, num_rows=120)
+            for target in dataset.spec.targets:
+                relation = dataset.relation(target)
+                assert relation.num_rows > 0
+                assert relation.dimensions == dataset.spec.dimensions
+
+
+class TestOverview:
+    def test_table1_structure(self):
+        overview = dataset_overview(num_rows={"acs": 50, "flights": 50,
+                                              "stackoverflow": 50, "primaries": 50})
+        assert len(overview) == 4
+        by_name = {row["dataset"]: row for row in overview}
+        assert by_name["ACS NY"]["paper_dims"] == 3
+        assert by_name["Stack Overflow"]["paper_targets"] == 6
+        assert by_name["Flights"]["paper_size"] == "565 MB"
+        assert all(row["synthetic_rows"] == 50 for row in overview)
+
+    def test_synthetic_dims_match_paper_dims(self):
+        overview = dataset_overview(num_rows={"acs": 40, "flights": 40,
+                                              "stackoverflow": 40, "primaries": 40})
+        for row in overview:
+            assert row["synthetic_dims"] == row["paper_dims"]

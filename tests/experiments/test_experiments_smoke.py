@@ -1,0 +1,121 @@
+"""Smoke tests: every experiment runs end-to-end at a tiny scale.
+
+The benchmarks exercise the experiments at the reporting scale; these
+tests only verify that each experiment module executes, returns rows,
+and preserves the headline relationships the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_exact_pruning_ablation,
+    run_greedy_ratio_ablation,
+    run_pruning_plan_ablation,
+)
+from repro.experiments.fig3_algorithms import run_figure3, summarize_figure3
+from repro.experiments.fig4_scaling import run_figure4, scaling_series
+from repro.experiments.fig5_ratings import quality_rating_correlation, run_figure5
+from repro.experiments.fig6_estimation import mean_errors, run_figure6
+from repro.experiments.fig7_conflict import best_models, run_figure7
+from repro.experiments.fig9_query_mix import dominant_complexity, run_figure9
+from repro.experiments.fig10_latency import latency_advantage, run_figure10
+from repro.experiments.fig11_baseline_study import overall_winner, run_figure11
+from repro.experiments.ml_baseline_study import run_ml_baseline
+from repro.experiments.scenarios import ScenarioScale, TINY_SCALE
+from repro.experiments.table1_datasets import run_table1
+from repro.experiments.table2_speeches import run_table2
+from repro.experiments.table3_requests import run_table3
+
+
+def test_table1_smoke():
+    result = run_table1()
+    assert len(result.rows) == 4
+
+
+def test_figure3_smoke():
+    result = run_figure3(scenarios=["A-V", "F-C"], scale=TINY_SCALE)
+    assert {row["algorithm"] for row in result.rows} == {"E", "G-B", "G-P", "G-O"}
+    summary = summarize_figure3(result)
+    assert summary["min_greedy_utility_ratio"] >= 1 - 1 / 2.718281828 - 1e-9
+
+
+def test_figure4_smoke():
+    result = run_figure4(
+        scenarios=("A-H",),
+        speech_lengths=(2, 3),
+        fact_dimensions=(1, 2),
+        queries_per_scenario=1,
+    )
+    assert result.rows
+    series = scaling_series(result, "fact_dimensions", "G-P")
+    assert "A-H" in series
+
+
+def test_figure5_smoke():
+    result = run_figure5(workers=10, pool_size=30)
+    assert len(result.rows) == 6
+    assert quality_rating_correlation(result) >= 0.5
+
+
+def test_figure6_smoke():
+    result = run_figure6(workers_per_point=5, pool_size=30, rows=300)
+    assert len(result.rows) == 15
+    errors = mean_errors(result)
+    assert errors["best"] <= errors["worst"] * 1.5
+
+
+def test_figure7_smoke():
+    result = run_figure7(workers_per_combination=10)
+    assert len(result.rows) == 8
+    assert set(best_models(result)) == {"ACS", "Flights"}
+
+
+def test_table2_smoke():
+    result = run_table2(rows=300, pool_size=30)
+    rows = {row["speech"]: row for row in result.rows}
+    assert rows["Best"]["scaled_utility"] >= rows["Worst"]["scaled_utility"]
+
+
+def test_table3_smoke():
+    result = run_table3(rows_per_dataset=150)
+    assert len(result.rows) == 3
+    assert all(sum([r["help"], r["repeat"], r["s_query"], r["u_query"], r["other"]]) == 50
+               for r in result.rows)
+
+
+def test_figure9_smoke():
+    result = run_figure9(rows_per_dataset=150)
+    assert dominant_complexity(result) == "1 predicates"
+
+
+def test_figure10_smoke():
+    result = run_figure10(queries_per_dataset=3, max_problems=30)
+    assert {row["dataset"] for row in result.rows} == {"S", "F", "P"}
+    assert all(factor > 1 for factor in latency_advantage(result).values())
+
+
+def test_figure11_smoke():
+    result = run_figure11(workers=15, rows=400)
+    assert overall_winner(result) == "This"
+
+
+def test_ml_baseline_smoke():
+    result = run_ml_baseline(rows=400, workers=10)
+    assert result.rows
+    assert all(row["our_rating"] > row["ml_rating"] for row in result.rows)
+
+
+def test_figure8_smoke():
+    from repro.experiments.fig8_interfaces import run_figure8
+
+    result = run_figure8(participants=3, questions_per_interface=2, rows=300, max_problems=50)
+    assert len(result.rows) == 3
+
+
+def test_ablations_smoke():
+    exact = run_exact_pruning_ablation(scenarios=("A-V",))
+    assert exact.rows
+    plans = run_pruning_plan_ablation(scenarios=("A-V",))
+    assert plans.rows
+    ratios = run_greedy_ratio_ablation(scenarios=("A-V",))
+    assert all(row["ratio"] >= 1 - 1 / 2.718281828 - 1e-9 for row in ratios.rows)

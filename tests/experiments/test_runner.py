@@ -1,0 +1,38 @@
+"""Unit tests for the experiment result container and formatting."""
+
+from repro.experiments.runner import ExperimentResult, format_rows
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult(name="x", description="demo")
+        result.add_row(a=1, b="y")
+        result.add_row(a=2, b="z")
+        assert result.column("a") == [1, 2]
+        assert result.column("missing") == [None, None]
+
+    def test_to_text_contains_header_rows_and_notes(self):
+        result = ExperimentResult(name="figureX", description="demo experiment")
+        result.add_row(metric="time", value=1.5)
+        result.notes.append("scaled down")
+        text = result.to_text()
+        assert "figureX" in text
+        assert "demo experiment" in text
+        assert "time" in text
+        assert "note: scaled down" in text
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_alignment_and_column_union(self):
+        text = format_rows([{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_float_formatting(self):
+        text = format_rows([{"v": 0.000123}, {"v": 1234.5}, {"v": 0.0}])
+        assert "0.000123" in text
+        assert "1,234" in text or "1234" in text

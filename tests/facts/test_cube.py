@@ -1,0 +1,116 @@
+"""Unit and equivalence tests for the data-cube fact generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Scope, SummarizationRelation
+from repro.facts.cube import CubeFactGenerator, DataCube
+from repro.facts.generation import FactGenerator
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+
+class TestDataCube:
+    def test_cell_counts(self, example_relation):
+        cube = DataCube(example_relation, max_arity=2)
+        # 1 (empty) + 4 regions + 4 seasons + 16 combinations = 25 cells.
+        assert cube.cell_count == 25
+        assert cube.max_arity == 2
+
+    def test_averages_match_relation(self, example_relation):
+        cube = DataCube(example_relation, max_arity=2)
+        for assignments in ({}, {"region": "North"}, {"season": "Winter", "region": "East"}):
+            expected, support = example_relation.average_target(Scope(assignments))
+            value, count = cube.average(assignments)
+            assert value == pytest.approx(expected)
+            assert count == support
+
+    def test_unknown_combination(self, example_relation):
+        cube = DataCube(example_relation, max_arity=1)
+        assert cube.average({"region": "Atlantis"}) == (None, 0)
+        # Combinations beyond the materialised arity are not served.
+        assert cube.average({"region": "North", "season": "Winter"}) == (None, 0)
+
+    def test_invalid_arity(self, example_relation):
+        with pytest.raises(ValueError):
+            DataCube(example_relation, max_arity=-1)
+
+
+class TestCubeFactGenerator:
+    def test_matches_fact_generator_without_base_scope(self, example_relation):
+        direct = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        from_cube = CubeFactGenerator(
+            example_relation, max_extra_dimensions=2, max_base_dimensions=0
+        ).generate()
+        assert set(from_cube.facts) == set(direct.facts)
+        assert set(from_cube.by_group) == set(direct.by_group)
+
+    def test_matches_fact_generator_with_base_scope(self, example_relation):
+        base = {"season": "Winter"}
+        direct = FactGenerator(example_relation, max_extra_dimensions=1).generate(base)
+        from_cube = CubeFactGenerator(
+            example_relation, max_extra_dimensions=1, max_base_dimensions=1
+        ).generate(base)
+        assert set(from_cube.facts) == set(direct.facts)
+
+    def test_min_support(self, example_relation):
+        from_cube = CubeFactGenerator(
+            example_relation, max_extra_dimensions=2, max_base_dimensions=0, min_support=2
+        ).generate()
+        assert all(fact.support >= 2 for fact in from_cube.facts)
+        # The 16 single-row (region, season) cells are filtered out.
+        assert from_cube.count == 9
+
+    def test_cube_is_shared_across_queries(self, example_relation):
+        generator = CubeFactGenerator(
+            example_relation, max_extra_dimensions=1, max_base_dimensions=1
+        )
+        first = generator.generate({"region": "North"})
+        second = generator.generate({"region": "East"})
+        assert first.count == second.count == 5
+        assert generator.cube.cell_count > 0
+
+    def test_invalid_parameters(self, example_relation):
+        with pytest.raises(ValueError):
+            CubeFactGenerator(example_relation, max_extra_dimensions=-1)
+        with pytest.raises(ValueError):
+            CubeFactGenerator(example_relation, min_support=0)
+
+
+_DIM1 = ["a", "b", "c"]
+_DIM2 = ["x", "y"]
+
+
+@st.composite
+def random_relations(draw):
+    num_rows = draw(st.integers(min_value=3, max_value=14))
+    dim1 = draw(st.lists(st.sampled_from(_DIM1), min_size=num_rows, max_size=num_rows))
+    dim2 = draw(st.lists(st.sampled_from(_DIM2), min_size=num_rows, max_size=num_rows))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    table = Table(
+        "random",
+        [
+            Column.categorical("d1", dim1),
+            Column.categorical("d2", dim2),
+            Column.numeric("v", values),
+        ],
+    )
+    return SummarizationRelation(table, ["d1", "d2"], "v")
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation=random_relations(), base_value=st.sampled_from(_DIM1 + [None]))
+def test_cube_generator_equivalent_to_direct_generator(relation, base_value):
+    """Property: cube-served facts equal the per-query generator's facts."""
+    base = {} if base_value is None else {"d1": base_value}
+    direct = FactGenerator(relation, max_extra_dimensions=2).generate(base)
+    from_cube = CubeFactGenerator(
+        relation, max_extra_dimensions=2, max_base_dimensions=1
+    ).generate(base)
+    assert set(from_cube.facts) == set(direct.facts)

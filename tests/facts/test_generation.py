@@ -1,0 +1,82 @@
+"""Unit tests for repro.facts.generation."""
+
+import pytest
+
+from repro.core.model import Scope
+from repro.facts.generation import FactGenerator
+from repro.facts.groups import FactGroup
+
+
+class TestGeneration:
+    def test_counts_without_base_scope(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        # 1 overall + 4 regions + 4 seasons + 16 combinations = 25 facts.
+        assert generated.count == 25
+        assert len(generated.by_group) == 4
+
+    def test_groups_partition_facts(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        assert sum(len(v) for v in generated.by_group.values()) == generated.count
+        assert generated.by_group[FactGroup([])][0].scope == Scope()
+        assert len(generated.by_group[FactGroup(["region"])]) == 4
+        assert len(generated.by_group[FactGroup(["region", "season"])]) == 16
+
+    def test_max_extra_dimensions_one(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=1).generate()
+        assert generated.count == 9  # overall + 4 + 4
+
+    def test_max_extra_dimensions_zero(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=0).generate()
+        assert generated.count == 1
+
+    def test_fact_values_are_scope_averages(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        for fact in generated.facts:
+            expected, support = example_relation.average_target(fact.scope)
+            assert fact.value == pytest.approx(expected)
+            assert fact.support == support
+            assert fact.support >= 1
+
+    def test_base_scope_restricts_candidates(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=1).generate(
+            base_scope={"season": "Winter"}
+        )
+        # Facts: the Winter subset itself + one per region within Winter.
+        assert generated.base_scope == Scope({"season": "Winter"})
+        assert all(fact.scope.restricts("season") for fact in generated.facts)
+        assert generated.count == 5
+        # Values are averages over the Winter subset (all 15 in the fixture).
+        assert all(fact.value == pytest.approx(15.0) for fact in generated.facts)
+
+    def test_base_scope_accepts_scope_object(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=0).generate(
+            base_scope=Scope({"region": "North"})
+        )
+        assert generated.count == 1
+        assert generated.facts[0].support == 4
+
+    def test_min_support_filters_facts(self, example_relation):
+        generated = FactGenerator(
+            example_relation, max_extra_dimensions=2, min_support=2
+        ).generate()
+        # Single (region, season) cells have support 1 and are filtered out.
+        assert FactGroup(["region", "season"]) not in generated.by_group
+        assert generated.count == 9
+
+    def test_empty_base_scope_subset(self, example_relation):
+        generated = FactGenerator(example_relation).generate(
+            base_scope={"region": "Atlantis"}
+        )
+        assert generated.count == 0
+
+    def test_invalid_parameters(self, example_relation):
+        with pytest.raises(ValueError):
+            FactGenerator(example_relation, max_extra_dimensions=-1)
+        with pytest.raises(ValueError):
+            FactGenerator(example_relation, min_support=0)
+
+    def test_facts_in_groups_helper(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        selected = generated.facts_in_groups([FactGroup(["region"]), FactGroup(["season"])])
+        assert len(selected) == 8
+        assert generated.groups()

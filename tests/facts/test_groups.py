@@ -1,0 +1,61 @@
+"""Unit tests for repro.facts.groups."""
+
+from repro.facts.groups import FactGroup, enumerate_fact_groups, specializations
+
+
+class TestFactGroup:
+    def test_dimensions_are_sorted_and_deduplicated(self):
+        group = FactGroup(["season", "region", "season"])
+        assert group.dimensions == ("region", "season")
+        assert group.arity == 2
+
+    def test_equality_and_hash(self):
+        assert FactGroup(["a", "b"]) == FactGroup(["b", "a"])
+        assert len({FactGroup(["a", "b"]), FactGroup(["b", "a"])}) == 1
+
+    def test_specialization_relation(self):
+        region = FactGroup(["region"])
+        region_season = FactGroup(["region", "season"])
+        assert region_season.is_specialization_of(region)
+        assert not region.is_specialization_of(region_season)
+        # Reflexive, and everything specializes the empty group.
+        assert region.is_specialization_of(region)
+        assert region.is_specialization_of(FactGroup([]))
+
+    def test_ordering_is_deterministic(self):
+        groups = sorted([FactGroup(["b"]), FactGroup(["a"]), FactGroup([])])
+        assert [g.dimensions for g in groups] == [(), ("a",), ("b",)]
+
+
+class TestEnumeration:
+    def test_powerset_without_empty(self):
+        groups = enumerate_fact_groups(["a", "b"])
+        assert {g.dimensions for g in groups} == {("a",), ("b",), ("a", "b")}
+
+    def test_powerset_with_empty(self):
+        groups = enumerate_fact_groups(["a", "b"], include_empty=True)
+        assert FactGroup([]) in groups
+        assert len(groups) == 4
+
+    def test_max_arity_limits_groups(self):
+        groups = enumerate_fact_groups(["a", "b", "c"], max_arity=1)
+        assert all(g.arity == 1 for g in groups)
+        assert len(groups) == 3
+
+    def test_max_arity_above_dimension_count(self):
+        groups = enumerate_fact_groups(["a"], max_arity=5)
+        assert {g.dimensions for g in groups} == {("a",)}
+
+    def test_duplicate_dimensions_collapse(self):
+        groups = enumerate_fact_groups(["a", "a"])
+        assert {g.dimensions for g in groups} == {("a",)}
+
+
+class TestSpecializations:
+    def test_specializations_include_self(self):
+        universe = enumerate_fact_groups(["a", "b", "c"], include_empty=True)
+        result = specializations(FactGroup(["a"]), universe)
+        assert FactGroup(["a"]) in result
+        assert FactGroup(["a", "b"]) in result
+        assert FactGroup(["a", "b", "c"]) in result
+        assert FactGroup(["b"]) not in result

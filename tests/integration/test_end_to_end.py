@@ -1,0 +1,123 @@
+"""Integration tests: the full pipeline over synthetic datasets.
+
+These tests wire every layer together the way the deployed system does:
+dataset generation → configuration → pre-processing with a real
+algorithm → natural-language querying → speech realisation — and check
+the invariants the paper's system design relies on.
+"""
+
+import pytest
+
+from repro.algorithms.exact import ExactSummarizer
+from repro.algorithms.greedy import GreedySummarizer
+from repro.datasets import load_dataset
+from repro.system.config import SummarizationConfig
+from repro.system.engine import ResponseKind, VoiceQueryEngine
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.queries import DataQuery
+from repro.system.templates import SpeechRealizer, TargetPhrasing
+
+
+@pytest.fixture(scope="module")
+def flights_engine() -> VoiceQueryEngine:
+    dataset = load_dataset("flights", num_rows=500)
+    config = SummarizationConfig.create(
+        table="flights",
+        dimensions=("origin_region", "season", "time_of_day"),
+        targets=("cancellation",),
+        max_query_length=1,
+        max_facts_per_speech=3,
+        max_fact_dimensions=1,
+        algorithm="G-O",
+    )
+    realizer = SpeechRealizer(
+        target_phrasings={
+            "cancellation": TargetPhrasing(
+                subject="the cancellation probability", unit="%", scale=100.0, decimals=1
+            )
+        }
+    )
+    engine = VoiceQueryEngine(
+        config,
+        dataset.table,
+        target_synonyms={"cancellation": ["cancellations", "cancelled flights"]},
+        realizer=realizer,
+    )
+    engine.preprocess()
+    return engine
+
+
+class TestFlightsDeployment:
+    def test_preprocessing_covers_all_queries(self, flights_engine):
+        report = flights_engine.report
+        # 1 overall + 4 regions + 4 seasons + 4 times of day = 13 queries.
+        assert report.queries_considered == 13
+        assert report.speeches_generated == 13
+        assert 0.0 < report.average_scaled_utility <= 1.0
+
+    def test_every_stored_speech_has_text_and_utility(self, flights_engine):
+        for stored in flights_engine.store:
+            assert stored.text
+            assert stored.speech.length >= 1
+            assert stored.utility >= 0.0
+            assert stored.algorithm == "G-O"
+
+    def test_natural_language_round_trip(self, flights_engine):
+        response = flights_engine.ask("cancellations in Winter?")
+        assert response.kind is ResponseKind.SPEECH
+        assert response.exact_match
+        assert "%" in response.text
+        assert response.query.predicate_map == {"season": "Winter"}
+
+    def test_two_predicate_query_falls_back_to_most_specific_speech(self, flights_engine):
+        response = flights_engine.ask("cancelled flights in the Northeast in Winter")
+        assert response.kind is ResponseKind.SPEECH
+        assert not response.exact_match
+        assert response.query.length == 2
+
+    def test_runtime_latency_is_far_below_preprocessing_cost(self, flights_engine):
+        report = flights_engine.report
+        response = flights_engine.answer_query(DataQuery.create("cancellation", {}))
+        assert response.kind is ResponseKind.SPEECH
+        assert response.latency_seconds < report.per_query_seconds
+
+    def test_speech_values_match_data(self, flights_engine):
+        """Every spoken fact value equals the average of its scope in the data."""
+        dataset_table = flights_engine.table
+        from repro.core.model import SummarizationRelation
+
+        relation = SummarizationRelation(
+            dataset_table, list(flights_engine.config.dimensions), "cancellation"
+        )
+        for stored in flights_engine.store:
+            for fact in stored.speech:
+                expected, support = relation.average_target(fact.scope)
+                assert support == fact.support
+                assert fact.value == pytest.approx(expected)
+
+
+class TestAlgorithmAgreementOnRealData:
+    def test_greedy_close_to_exact_on_acs(self):
+        dataset = load_dataset("acs", num_rows=300)
+        config = SummarizationConfig.create(
+            table="acs",
+            dimensions=("borough", "age_group", "sex"),
+            targets=("visual_impairment",),
+            max_query_length=1,
+            max_facts_per_speech=3,
+            max_fact_dimensions=1,
+        )
+        generator = ProblemGenerator(config, dataset.table)
+        greedy = GreedySummarizer()
+        exact = ExactSummarizer()
+        checked = 0
+        for generated in generator.generate():
+            if checked >= 4:
+                break
+            greedy_result = greedy.summarize(generated.problem)
+            exact_result = exact.summarize(generated.problem)
+            assert greedy_result.utility <= exact_result.utility + 1e-9
+            if exact_result.utility > 0:
+                assert greedy_result.utility / exact_result.utility >= 0.9
+            checked += 1
+        assert checked > 0

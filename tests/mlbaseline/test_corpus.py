@@ -1,0 +1,96 @@
+"""Unit tests for the ML-baseline corpus builder."""
+
+import pytest
+
+from repro.mlbaseline.corpus import SummarizationExample, build_corpus, facts_to_text, split_corpus
+from repro.system.config import SummarizationConfig
+from repro.system.preprocessor import Preprocessor
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.templates import SpeechRealizer
+
+
+@pytest.fixture()
+def prepared(example_table):
+    """Pre-processed store plus per-query candidate facts over the fixture."""
+    config = SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=1,
+        max_facts_per_speech=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+    generator = ProblemGenerator(config, example_table)
+    store, _ = Preprocessor(config).run(generator)
+    candidates = {
+        g.query.key(): list(g.problem.candidate_facts) for g in generator.generate()
+    }
+    return store, candidates
+
+
+class TestFactsToText:
+    def test_renders_every_fact(self, example_relation):
+        facts = [
+            example_relation.make_fact({"season": "Winter"}),
+            example_relation.make_fact({}),
+        ]
+        text = facts_to_text("delay", facts, SpeechRealizer())
+        assert "season Winter" in text
+        assert "overall" in text
+
+
+class TestBuildCorpus:
+    def test_one_example_per_template_query(self, prepared):
+        store, candidates = prepared
+        corpus = build_corpus(store, dimension="season", target="delay",
+                              candidate_facts_per_query=candidates)
+        # One example per season value.
+        assert len(corpus) == 4
+        for example in corpus:
+            assert example.query.length == 1
+            assert example.query.predicates[0][0] == "season"
+            assert example.input_text
+            assert example.output_text
+            assert example.candidate_facts
+
+    def test_other_dimension_excluded(self, prepared):
+        store, candidates = prepared
+        corpus = build_corpus(store, dimension="region", target="delay",
+                              candidate_facts_per_query=candidates)
+        assert len(corpus) == 4
+        assert all(example.query.predicates[0][0] == "region" for example in corpus)
+
+    def test_input_text_capped(self, prepared):
+        store, candidates = prepared
+        corpus = build_corpus(store, dimension="season", target="delay",
+                              candidate_facts_per_query=candidates, max_facts_in_input=1)
+        realizer = SpeechRealizer()
+        for example in corpus:
+            # Only the first candidate fact appears in the capped input text.
+            assert example.input_text == facts_to_text(
+                "delay", example.candidate_facts[:1], realizer
+            )
+
+    def test_unknown_target_gives_empty_corpus(self, prepared):
+        store, candidates = prepared
+        assert build_corpus(store, dimension="season", target="price",
+                            candidate_facts_per_query=candidates) == []
+
+
+class TestSplitCorpus:
+    def test_holds_out_last_examples(self, prepared):
+        store, candidates = prepared
+        corpus = build_corpus(store, dimension="season", target="delay",
+                              candidate_facts_per_query=candidates)
+        train, test = split_corpus(corpus, test_size=1)
+        assert len(train) == 3
+        assert len(test) == 1
+
+    def test_small_corpus_keeps_everything_for_training(self, prepared):
+        store, candidates = prepared
+        corpus = build_corpus(store, dimension="season", target="delay",
+                              candidate_facts_per_query=candidates)
+        train, test = split_corpus(corpus, test_size=10)
+        assert train == corpus
+        assert test == []

@@ -1,0 +1,71 @@
+"""Unit tests for the ML-baseline evaluation."""
+
+import pytest
+
+from repro.mlbaseline.corpus import build_corpus, split_corpus
+from repro.mlbaseline.evaluation import evaluate_against_reference
+from repro.mlbaseline.model import TemplateSeq2SeqModel
+from repro.system.config import SummarizationConfig
+from repro.system.preprocessor import Preprocessor
+from repro.system.problem_generator import ProblemGenerator
+from repro.userstudy.worker import WorkerPool
+
+
+@pytest.fixture()
+def setup(example_table):
+    config = SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=1,
+        max_facts_per_speech=3,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+    generator = ProblemGenerator(config, example_table)
+    store, _ = Preprocessor(config).run(generator)
+    problems = {}
+    candidates = {}
+    for generated in generator.generate():
+        problems[generated.query.key()] = generated.problem
+        candidates[generated.query.key()] = list(generated.problem.candidate_facts)
+    corpus = build_corpus(store, dimension="season", target="delay",
+                          candidate_facts_per_query=candidates)
+    return corpus, problems
+
+
+class TestEvaluation:
+    def test_comparison_structure(self, setup):
+        corpus, problems = setup
+        train, test = split_corpus(corpus, test_size=2)
+        model = TemplateSeq2SeqModel()
+        model.fit(train)
+        result = evaluate_against_reference(
+            model, test, problems, pool=WorkerPool(size=10, seed=1)
+        )
+        assert set(result.ml_ratings) == set(result.reference_ratings)
+        assert len(result.ml_ratings) == 6
+        assert 0.0 <= result.ml_mean_scaled_utility <= 1.0 + 1e-9
+        assert 0.0 <= result.reference_mean_scaled_utility <= 1.0 + 1e-9
+        assert result.generation_seconds_per_sample >= 0.0
+
+    def test_reference_wins_flag_is_consistent_with_ratings(self, setup):
+        """`reference_wins` mirrors the mean ratings.  (Whether the reference
+        actually wins depends on the data; on the realistic flights dataset it
+        does — see the ML-baseline experiment smoke test and benchmark.)"""
+        corpus, problems = setup
+        train, test = split_corpus(corpus, test_size=2)
+        model = TemplateSeq2SeqModel()
+        model.fit(train)
+        result = evaluate_against_reference(
+            model, test, problems, pool=WorkerPool(size=30, seed=2)
+        )
+        ml_mean = sum(result.ml_ratings.values()) / len(result.ml_ratings)
+        ref_mean = sum(result.reference_ratings.values()) / len(result.reference_ratings)
+        assert result.reference_wins == (ref_mean > ml_mean)
+        assert result.ml_mean_scope_arity >= result.reference_mean_scope_arity
+
+    def test_requires_test_examples(self, setup):
+        _, problems = setup
+        with pytest.raises(ValueError):
+            evaluate_against_reference(TemplateSeq2SeqModel(), [], problems)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.relational.aggregates."""
+
+import pytest
+
+from repro.relational.aggregates import (
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    aggregate_avg,
+    aggregate_count,
+    aggregate_count_star,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+)
+
+
+class TestAggregateFunctions:
+    def test_sum_skips_nulls(self):
+        assert aggregate_sum([1, None, 2]) == 3.0
+
+    def test_sum_empty_is_zero(self):
+        assert aggregate_sum([]) == 0.0
+        assert aggregate_sum([None]) == 0.0
+
+    def test_avg(self):
+        assert aggregate_avg([1, 3, None]) == pytest.approx(2.0)
+
+    def test_avg_empty_is_none(self):
+        assert aggregate_avg([None]) is None
+
+    def test_count_vs_count_star(self):
+        assert aggregate_count([1, None, 2]) == 2
+        assert aggregate_count_star([1, None, 2]) == 3
+
+    def test_min_max(self):
+        assert aggregate_min([3, 1, None]) == 1.0
+        assert aggregate_max([3, 1, None]) == 3.0
+        assert aggregate_min([]) is None
+        assert aggregate_max([None]) is None
+
+
+class TestAggregateSpecs:
+    def test_default_output_names(self):
+        assert SUM("u").output_column == "sum_u"
+        assert AVG("u").output_column == "avg_u"
+        assert COUNT("u").output_column == "count_u"
+        assert COUNT().output_column == "count"
+        assert MIN("u").output_column == "min_u"
+        assert MAX("u").output_column == "max_u"
+
+    def test_custom_output_name(self):
+        assert SUM("u", "utility").output_column == "utility"
+
+    def test_count_star_has_no_input(self):
+        assert COUNT().input_column is None
+        assert COUNT("u").input_column == "u"
+
+    def test_compute_delegates(self):
+        assert SUM("u").compute([1, 2, 3]) == 6.0
+        assert AVG("u").compute([2, 4]) == 3.0

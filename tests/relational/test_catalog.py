@@ -1,0 +1,101 @@
+"""Unit tests for repro.relational.catalog and planner."""
+
+import pytest
+
+from repro.relational.catalog import Catalog, TableStatistics
+from repro.relational.column import Column
+from repro.relational.errors import UnknownTableError
+from repro.relational.planner import CostEstimator
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        "flights",
+        [
+            Column.categorical("region", ["E", "E", "N", "S"]),
+            Column.categorical("season", ["W", "S", "W", None]),
+            Column.numeric("delay", [1.0, 2.0, 3.0, 4.0]),
+        ],
+    )
+
+
+class TestTableStatistics:
+    def test_from_table(self, table):
+        stats = TableStatistics.from_table(table)
+        assert stats.row_count == 4
+        assert stats.distinct_count("region") == 3
+        assert stats.distinct_count("season") == 2
+        assert stats.null_counts["season"] == 1
+
+    def test_combination_count_capped_by_rows(self, table):
+        stats = TableStatistics.from_table(table)
+        assert stats.combination_count(["region"]) == 3
+        # 3 * 2 = 6 would exceed the row count, so the estimate is capped.
+        assert stats.combination_count(["region", "season"]) == 4
+        assert stats.combination_count([]) == 1
+
+    def test_selectivity(self, table):
+        stats = TableStatistics.from_table(table)
+        assert stats.selectivity(["region"]) == pytest.approx(1 / 3)
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        assert catalog.has_table("flights")
+        assert catalog.table("flights") is table
+        assert catalog.statistics("flights").row_count == 4
+        assert catalog.table_names() == ["flights"]
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(UnknownTableError):
+            catalog.table("missing")
+        with pytest.raises(UnknownTableError):
+            catalog.statistics("missing")
+
+    def test_unregister(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.unregister("flights")
+        assert not catalog.has_table("flights")
+        # Unregistering again is a no-op.
+        catalog.unregister("flights")
+
+    def test_refresh(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.refresh()
+        assert catalog.statistics("flights").row_count == 4
+
+
+class TestCostEstimator:
+    def test_costs_scale_with_group_size(self, table):
+        estimator = CostEstimator(TableStatistics.from_table(table))
+        small = estimator.utility_cost(["region"])
+        large = estimator.utility_cost(["region", "season"])
+        assert float(large) >= float(small)
+
+    def test_deviation_cheaper_than_utility(self, table):
+        estimator = CostEstimator(TableStatistics.from_table(table))
+        group = ["region"]
+        assert float(estimator.deviation_cost(group)) < float(estimator.utility_cost(group))
+
+    def test_fact_count(self, table):
+        estimator = CostEstimator(TableStatistics.from_table(table))
+        assert estimator.fact_count(["region"]) == 3
+        assert estimator.fact_count([]) == 1
+
+    def test_cost_estimate_addition(self, table):
+        estimator = CostEstimator(TableStatistics.from_table(table))
+        total = estimator.utility_cost(["region"]) + estimator.deviation_cost(["region"])
+        assert float(total) == pytest.approx(
+            float(estimator.utility_cost(["region"])) + float(estimator.deviation_cost(["region"]))
+        )
+
+    def test_data_row_count(self, table):
+        estimator = CostEstimator(TableStatistics.from_table(table))
+        assert estimator.data_row_count == 4

@@ -1,0 +1,114 @@
+"""Unit tests for repro.relational.column."""
+
+import math
+
+import pytest
+
+from repro.relational.column import Column, ColumnType
+from repro.relational.errors import SchemaError, TypeMismatchError
+
+
+class TestConstruction:
+    def test_categorical_values_are_strings(self):
+        column = Column.categorical("city", ["NYC", 5, None])
+        assert column.values == ["NYC", "5", None]
+
+    def test_numeric_values_are_floats(self):
+        column = Column.numeric("delay", [1, 2.5, None])
+        assert column.values == [1.0, 2.5, None]
+
+    def test_numeric_rejects_non_numeric(self):
+        with pytest.raises(TypeMismatchError):
+            Column.numeric("delay", ["many"])
+
+    def test_integer_rejects_null(self):
+        with pytest.raises(TypeMismatchError):
+            Column.integer("count", [1, None])
+
+    def test_integer_coerces_floats(self):
+        column = Column.integer("count", [1.0, 2.0])
+        assert column.values == [1, 2]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column.numeric("", [1.0])
+
+    def test_nan_becomes_null(self):
+        column = Column.numeric("delay", [float("nan"), 1.0])
+        assert column.values == [None, 1.0]
+
+    def test_length_and_iteration(self):
+        column = Column.categorical("c", ["a", "b", "c"])
+        assert len(column) == 3
+        assert list(column) == ["a", "b", "c"]
+        assert column[1] == "b"
+
+
+class TestDerivedViews:
+    def test_renamed_preserves_values(self):
+        column = Column.numeric("old", [1.0, 2.0])
+        renamed = column.renamed("new")
+        assert renamed.name == "new"
+        assert renamed.values == column.values
+
+    def test_take_reorders(self):
+        column = Column.numeric("v", [1.0, 2.0, 3.0])
+        assert column.take([2, 0]).values == [3.0, 1.0]
+
+    def test_mask_filters(self):
+        column = Column.categorical("c", ["a", "b", "c"])
+        assert column.mask([True, False, True]).values == ["a", "c"]
+
+    def test_mask_length_mismatch_rejected(self):
+        column = Column.categorical("c", ["a", "b"])
+        with pytest.raises(SchemaError):
+            column.mask([True])
+
+    def test_with_values_keeps_type(self):
+        column = Column.numeric("v", [1.0])
+        replacement = column.with_values([3, 4])
+        assert replacement.ctype is ColumnType.NUMERIC
+        assert replacement.values == [3.0, 4.0]
+
+    def test_equality(self):
+        a = Column.numeric("v", [1.0, 2.0])
+        b = Column.numeric("v", [1.0, 2.0])
+        c = Column.numeric("v", [1.0, 3.0])
+        assert a == b
+        assert a != c
+
+
+class TestStatistics:
+    def test_null_count(self):
+        column = Column.categorical("c", ["a", None, None])
+        assert column.null_count() == 2
+        assert column.is_null(1)
+        assert not column.is_null(0)
+
+    def test_distinct_values_order_and_count(self):
+        column = Column.categorical("c", ["b", "a", "b", None])
+        assert column.distinct_values() == ["b", "a"]
+        assert column.distinct_count() == 2
+
+    def test_to_numpy_null_becomes_nan(self):
+        column = Column.numeric("v", [1.0, None])
+        array = column.to_numpy()
+        assert array[0] == 1.0
+        assert math.isnan(array[1])
+
+    def test_to_numpy_rejects_categorical(self):
+        with pytest.raises(TypeMismatchError):
+            Column.categorical("c", ["a"]).to_numpy()
+
+    def test_numeric_summary(self):
+        column = Column.numeric("v", [1.0, 3.0, None])
+        summary = column.numeric_summary()
+        assert summary["count"] == 2
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_numeric_summary_empty(self):
+        summary = Column.numeric("v", [None]).numeric_summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])

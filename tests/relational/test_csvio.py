@@ -1,0 +1,75 @@
+"""Unit tests for repro.relational.csvio."""
+
+import pytest
+
+from repro.relational.column import ColumnType
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.errors import SchemaError
+from repro.relational.table import Table
+from repro.relational.column import Column
+
+
+class TestReadCsv:
+    def test_round_trip(self, tmp_path):
+        table = Table(
+            "flights",
+            [
+                Column.categorical("region", ["East", "North", None]),
+                Column.numeric("delay", [1.5, None, 3.0]),
+            ],
+        )
+        path = tmp_path / "flights.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.column("region").values == ["East", "North", None]
+        assert loaded.column("delay").values == [1.5, None, 3.0]
+
+    def test_type_inference(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,score\nalice,1.5\nbob,2\n")
+        table = read_csv(path)
+        assert table.column("name").ctype is ColumnType.CATEGORICAL
+        assert table.column("score").ctype is ColumnType.NUMERIC
+
+    def test_explicit_types(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("code,value\n001,2\n002,3\n")
+        table = read_csv(path, types={"code": ColumnType.CATEGORICAL})
+        assert table.column("code").values == ["001", "002"]
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("v\n1\n2\n3\n")
+        assert read_csv(path, limit=2).num_rows == 2
+
+    def test_default_name_is_file_stem(self, tmp_path):
+        path = tmp_path / "primaries.csv"
+        path.write_text("v\n1\n")
+        assert read_csv(path).name == "primaries"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+
+class TestWriteCsv:
+    def test_creates_parent_directories(self, tmp_path):
+        table = Table("t", [Column.numeric("v", [1.0])])
+        path = tmp_path / "nested" / "dir" / "out.csv"
+        write_csv(table, path)
+        assert path.exists()
+
+    def test_null_round_trips_as_empty_cell(self, tmp_path):
+        table = Table("t", [Column.categorical("c", [None, "x"])])
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        # The second data cell is empty on disk and reads back as NULL.
+        assert read_csv(path).column("c").values == [None, "x"]

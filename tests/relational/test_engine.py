@@ -1,0 +1,75 @@
+"""Unit tests for repro.relational.engine."""
+
+import pytest
+
+from repro.relational.aggregates import AVG
+from repro.relational.column import Column
+from repro.relational.engine import RelationalEngine
+from repro.relational.errors import UnknownTableError
+from repro.relational.expressions import EqualsPredicate
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def engine() -> RelationalEngine:
+    engine = RelationalEngine()
+    engine.register_table(
+        Table(
+            "flights",
+            [
+                Column.categorical("region", ["E", "E", "N"]),
+                Column.numeric("delay", [10.0, 20.0, 15.0]),
+            ],
+        )
+    )
+    return engine
+
+
+class TestTableManagement:
+    def test_register_and_fetch(self, engine):
+        assert engine.table("flights").num_rows == 3
+        assert engine.statistics("flights").row_count == 3
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(UnknownTableError):
+            engine.table("nope")
+
+    def test_load_csv(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("region,delay\nE,10\nN,20\n")
+        engine = RelationalEngine()
+        table = engine.load_csv(str(path), name="loaded")
+        assert table.num_rows == 2
+        assert engine.catalog.has_table("loaded")
+
+    def test_cost_estimator(self, engine):
+        estimator = engine.cost_estimator("flights")
+        assert estimator.data_row_count == 3
+
+
+class TestQueryShapes:
+    def test_filter(self, engine):
+        result = engine.filter(engine.table("flights"), EqualsPredicate("region", "E"))
+        assert result.num_rows == 2
+
+    def test_aggregate(self, engine):
+        result = engine.aggregate(engine.table("flights"), ["region"], [AVG("delay", "d")])
+        rows = {row["region"]: row["d"] for row in result.iter_rows()}
+        assert rows["E"] == 15.0
+
+    def test_project(self, engine):
+        result = engine.project(engine.table("flights"), ["region"], distinct=True)
+        assert result.num_rows == 2
+
+    def test_scope_join(self, engine):
+        facts = Table(
+            "facts",
+            [Column.categorical("region", [None]), Column.numeric("value", [15.0])],
+        )
+        result = engine.scope_join(engine.table("flights"), facts, ["region"])
+        assert result.num_rows == 3
+
+    def test_query_count_increments(self, engine):
+        before = engine.query_count
+        engine.project(engine.table("flights"), ["region"])
+        assert engine.query_count == before + 1

@@ -1,0 +1,128 @@
+"""Unit tests for repro.relational.expressions."""
+
+import pytest
+
+from repro.relational.column import Column
+from repro.relational.errors import SchemaError
+from repro.relational.expressions import (
+    AndPredicate,
+    ComparisonPredicate,
+    EqualsPredicate,
+    InPredicate,
+    IsNullPredicate,
+    NotPredicate,
+    OrPredicate,
+    TruePredicate,
+    conjunction_of_equalities,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        "flights",
+        [
+            Column.categorical("season", ["Winter", "Summer", None, "Winter"]),
+            Column.numeric("delay", [15.0, 20.0, 5.0, None]),
+        ],
+    )
+
+
+class TestEqualsPredicate:
+    def test_evaluate(self, table):
+        assert EqualsPredicate("season", "Winter").evaluate(table) == [True, False, False, True]
+
+    def test_null_never_matches(self, table):
+        assert EqualsPredicate("season", None).evaluate(table) == [False] * 4
+
+    def test_matches_row(self):
+        predicate = EqualsPredicate("season", "Winter")
+        assert predicate.matches_row({"season": "Winter"})
+        assert not predicate.matches_row({"season": "Summer"})
+        assert not predicate.matches_row({})
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            EqualsPredicate("missing", 1).evaluate(table)
+
+    def test_equality_and_hash(self):
+        assert EqualsPredicate("a", 1) == EqualsPredicate("a", 1)
+        assert hash(EqualsPredicate("a", 1)) == hash(EqualsPredicate("a", 1))
+        assert EqualsPredicate("a", 1) != EqualsPredicate("a", 2)
+
+
+class TestComparisonPredicate:
+    def test_operators(self, table):
+        assert ComparisonPredicate("delay", ">", 10).evaluate(table) == [True, True, False, False]
+        assert ComparisonPredicate("delay", "<=", 15).evaluate(table) == [True, False, True, False]
+        assert ComparisonPredicate("delay", "!=", 15).evaluate(table) == [False, True, True, False]
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate("delay", "~", 1)
+
+
+class TestOtherPredicates:
+    def test_true_predicate(self, table):
+        assert TruePredicate().evaluate(table) == [True] * 4
+
+    def test_in_predicate(self, table):
+        assert InPredicate("season", ["Winter", "Fall"]).evaluate(table) == [
+            True, False, False, True,
+        ]
+
+    def test_is_null(self, table):
+        assert IsNullPredicate("season").evaluate(table) == [False, False, True, False]
+        assert IsNullPredicate("season", negate=True).evaluate(table) == [
+            True, True, False, True,
+        ]
+
+    def test_not_predicate(self, table):
+        predicate = NotPredicate(EqualsPredicate("season", "Winter"))
+        assert predicate.evaluate(table) == [False, True, True, False]
+
+
+class TestBooleanCombinations:
+    def test_and(self, table):
+        predicate = AndPredicate(
+            [EqualsPredicate("season", "Winter"), ComparisonPredicate("delay", ">", 10)]
+        )
+        assert predicate.evaluate(table) == [True, False, False, False]
+
+    def test_or(self, table):
+        predicate = OrPredicate(
+            [EqualsPredicate("season", "Summer"), IsNullPredicate("delay")]
+        )
+        assert predicate.evaluate(table) == [False, True, False, True]
+
+    def test_operator_overloads(self, table):
+        predicate = EqualsPredicate("season", "Winter") & ComparisonPredicate("delay", ">", 10)
+        assert predicate.evaluate(table) == [True, False, False, False]
+        negated = ~EqualsPredicate("season", "Winter")
+        assert negated.evaluate(table) == [False, True, True, False]
+        either = EqualsPredicate("season", "Winter") | EqualsPredicate("season", "Summer")
+        assert either.evaluate(table) == [True, True, False, True]
+
+    def test_referenced_columns(self):
+        predicate = AndPredicate(
+            [EqualsPredicate("a", 1), OrPredicate([EqualsPredicate("b", 2), TruePredicate()])]
+        )
+        assert predicate.referenced_columns() == {"a", "b"}
+
+    def test_empty_and_or(self, table):
+        assert AndPredicate([]).evaluate(table) == [True] * 4
+        assert OrPredicate([]).evaluate(table) == [False] * 4
+
+
+class TestConjunctionHelper:
+    def test_empty_mapping_is_true(self, table):
+        assert isinstance(conjunction_of_equalities({}), TruePredicate)
+
+    def test_single_predicate(self):
+        predicate = conjunction_of_equalities({"season": "Winter"})
+        assert isinstance(predicate, EqualsPredicate)
+
+    def test_multiple_predicates(self, table):
+        predicate = conjunction_of_equalities({"season": "Winter", "delay": 15.0})
+        assert predicate.evaluate(table) == [True, False, False, False]

@@ -1,0 +1,150 @@
+"""Unit tests for the minimal SQL layer (repro.relational.sql)."""
+
+import pytest
+
+from repro.relational.column import Column
+from repro.relational.errors import RelationalError
+from repro.relational.sql import SqlSession, SqlSyntaxError, execute_sql, parse_sql
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def flights() -> Table:
+    return Table(
+        "flights",
+        [
+            Column.categorical("region", ["East", "East", "North", "North", "South"]),
+            Column.categorical("season", ["Winter", "Summer", "Winter", "Summer", None]),
+            Column.numeric("delay", [15.0, 10.0, 15.0, 15.0, 20.0]),
+        ],
+    )
+
+
+class TestParsing:
+    def test_basic_projection(self):
+        parsed = parse_sql("SELECT region, delay FROM flights")
+        assert parsed.table == "flights"
+        assert parsed.columns == ["region", "delay"]
+        assert not parsed.is_aggregation
+
+    def test_star(self):
+        parsed = parse_sql("SELECT * FROM flights")
+        assert parsed.select_all
+
+    def test_aggregates_and_aliases(self):
+        parsed = parse_sql("SELECT AVG(delay) AS avg_delay, COUNT(*) FROM flights GROUP BY region")
+        assert parsed.is_aggregation
+        assert [a.output_column for a in parsed.aggregates] == ["avg_delay", "count"]
+        assert parsed.group_by == ["region"]
+
+    def test_where_and_order_and_limit(self):
+        parsed = parse_sql(
+            "SELECT region FROM flights WHERE delay > 10 AND season = 'Winter' "
+            "ORDER BY region DESC LIMIT 2"
+        )
+        assert parsed.order_by == "region"
+        assert parsed.order_descending
+        assert parsed.limit == 2
+
+    def test_is_null_conditions(self):
+        parsed = parse_sql("SELECT region FROM flights WHERE season IS NULL")
+        assert "IS" in repr(parsed.predicate)
+
+    def test_syntax_errors(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("UPDATE flights SET delay = 0")
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT region FROM flights WHERE delay ~ 3")
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT MAX(*) FROM flights")
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT region FROM flights ORDER BY region SIDEWAYS")
+
+    def test_literal_parsing(self):
+        parsed = parse_sql("SELECT region FROM flights WHERE delay = 12.5")
+        assert "12.5" in repr(parsed.predicate)
+        parsed = parse_sql("SELECT region FROM flights WHERE region = 'North'")
+        assert "North" in repr(parsed.predicate)
+
+
+class TestExecution:
+    def test_projection_with_filter(self, flights):
+        result = execute_sql(
+            "SELECT region FROM flights WHERE season = 'Winter'", flights
+        )
+        assert result.column("region").values == ["East", "North"]
+
+    def test_filter_with_comparison(self, flights):
+        result = execute_sql("SELECT * FROM flights WHERE delay >= 15", flights)
+        assert result.num_rows == 4
+
+    def test_group_by_aggregation(self, flights):
+        result = execute_sql(
+            "SELECT AVG(delay) AS avg_delay FROM flights GROUP BY region", flights
+        )
+        rows = {row["region"]: row["avg_delay"] for row in result.iter_rows()}
+        assert rows["East"] == pytest.approx(12.5)
+        assert rows["North"] == pytest.approx(15.0)
+        assert rows["South"] == pytest.approx(20.0)
+
+    def test_global_aggregation(self, flights):
+        result = execute_sql("SELECT SUM(delay) AS total, COUNT(*) FROM flights", flights)
+        assert result.num_rows == 1
+        assert result.row(0)["total"] == 75.0
+        assert result.row(0)["count"] == 5
+
+    def test_not_equals_and_null_handling(self, flights):
+        result = execute_sql("SELECT * FROM flights WHERE season != 'Winter'", flights)
+        # The NULL season row does not match != either (SQL three-valued logic
+        # is approximated by "NULL never matches").
+        assert result.num_rows == 2
+
+    def test_is_not_null(self, flights):
+        result = execute_sql("SELECT * FROM flights WHERE season IS NOT NULL", flights)
+        assert result.num_rows == 4
+
+    def test_order_by_and_limit(self, flights):
+        result = execute_sql(
+            "SELECT region, delay FROM flights ORDER BY delay DESC LIMIT 2", flights
+        )
+        assert result.column("delay").values == [20.0, 15.0]
+
+    def test_unknown_table(self, flights):
+        with pytest.raises(RelationalError):
+            execute_sql("SELECT * FROM planes", flights)
+
+    def test_scalar_aggregate_of_empty_filter(self, flights):
+        result = execute_sql("SELECT SUM(delay) AS s FROM flights WHERE delay > 99", flights)
+        assert result.num_rows == 1
+        assert result.row(0)["s"] == 0.0
+
+
+class TestSession:
+    def test_register_and_query(self, flights):
+        session = SqlSession()
+        session.register(flights)
+        assert session.tables() == ["flights"]
+        result = session.query("SELECT COUNT(*) AS n FROM flights")
+        assert result.row(0)["n"] == 5
+
+    def test_session_with_initial_tables(self, flights):
+        session = SqlSession({"flights": flights})
+        assert session.query("SELECT * FROM flights").num_rows == 5
+
+    def test_matches_operator_api(self, flights):
+        """The SQL path and the operator API give identical answers for the
+        summarizer's utility-style query shape."""
+        from repro.relational.aggregates import AVG
+        from repro.relational.expressions import EqualsPredicate
+        from repro.relational.operators import group_by, select
+
+        sql_result = execute_sql(
+            "SELECT AVG(delay) AS v FROM flights WHERE season = 'Winter' GROUP BY region",
+            flights,
+        )
+        api_result = group_by(
+            select(flights, EqualsPredicate("season", "Winter")),
+            ["region"],
+            [AVG("delay", "v")],
+        )
+        assert sql_result.to_dicts() == api_result.to_dicts()

@@ -1,0 +1,103 @@
+"""Unit tests for request classification (repro.system.classification)."""
+
+import pytest
+
+from repro.system.classification import (
+    QueryShape,
+    RequestType,
+    analyse_requests,
+    classify_request,
+    query_shape,
+)
+from repro.system.config import SummarizationConfig
+from repro.system.nlq import NaturalLanguageParser, ParsedRequest, RequestKind
+from repro.system.queries import DataQuery
+
+
+@pytest.fixture()
+def config() -> SummarizationConfig:
+    return SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=1,
+    )
+
+
+def parsed_query(target, predicates, kind=RequestKind.QUERY) -> ParsedRequest:
+    return ParsedRequest(
+        text="q", kind=kind, query=DataQuery.create(target, predicates)
+    )
+
+
+class TestClassification:
+    def test_help_and_repeat(self, config):
+        assert classify_request(ParsedRequest("h", RequestKind.HELP), config) is RequestType.HELP
+        assert (
+            classify_request(ParsedRequest("r", RequestKind.REPEAT), config)
+            is RequestType.REPEAT
+        )
+
+    def test_supported_query(self, config):
+        parsed = parsed_query("delay", {"region": "East"})
+        assert classify_request(parsed, config) is RequestType.SUPPORTED_QUERY
+
+    def test_long_queries_stay_supported(self, config):
+        # Queries longer than the pre-processed length are still answered
+        # (via the most specific containing subset), hence supported.
+        parsed = parsed_query("delay", {"region": "East", "season": "Winter"})
+        assert classify_request(parsed, config) is RequestType.SUPPORTED_QUERY
+
+    def test_unknown_target_is_unsupported(self, config):
+        parsed = parsed_query("price", {"region": "East"})
+        assert classify_request(parsed, config) is RequestType.UNSUPPORTED_QUERY
+
+    def test_unknown_dimension_is_unsupported(self, config):
+        parsed = parsed_query("delay", {"airline": "AA"})
+        assert classify_request(parsed, config) is RequestType.UNSUPPORTED_QUERY
+
+    def test_comparison_and_extremum_are_unsupported(self, config):
+        for kind in (RequestKind.COMPARISON, RequestKind.EXTREMUM):
+            parsed = parsed_query("delay", {}, kind=kind)
+            assert classify_request(parsed, config) is RequestType.UNSUPPORTED_QUERY
+
+    def test_other(self, config):
+        assert (
+            classify_request(ParsedRequest("x", RequestKind.OTHER), config)
+            is RequestType.OTHER
+        )
+
+
+class TestQueryShape:
+    def test_shapes(self):
+        assert query_shape(parsed_query("delay", {})) is QueryShape.RETRIEVAL
+        assert (
+            query_shape(parsed_query("delay", {}, RequestKind.COMPARISON))
+            is QueryShape.COMPARISON
+        )
+        assert (
+            query_shape(parsed_query("delay", {}, RequestKind.EXTREMUM))
+            is QueryShape.EXTREMUM
+        )
+        assert query_shape(ParsedRequest("h", RequestKind.HELP)) is None
+
+
+class TestAnalysis:
+    def test_analyse_requests(self, config, example_table):
+        parser = NaturalLanguageParser(config, example_table)
+        texts = [
+            "help",
+            "what is the delay in Winter",
+            "what is the delay for the North",
+            "compare the delay between East and West",
+            "thank you",
+        ]
+        analysis = analyse_requests([parser.parse(t) for t in texts], config)
+        assert analysis.total == 5
+        table_row = analysis.as_table_row()
+        assert table_row["Help"] == 1
+        assert table_row["S-Query"] == 2
+        assert table_row["U-Query"] == 1
+        assert table_row["Other"] == 1
+        assert analysis.by_predicate_count[1] == 2
+        assert analysis.by_shape[QueryShape.COMPARISON] == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the deployment simulator (repro.system.deployment)."""
+
+import pytest
+
+from repro.system.classification import RequestType, analyse_requests
+from repro.system.config import SummarizationConfig
+from repro.system.deployment import PAPER_REQUEST_MIX, DeploymentSimulator
+from repro.system.engine import VoiceQueryEngine
+from repro.system.nlq import NaturalLanguageParser
+
+
+@pytest.fixture()
+def config() -> SummarizationConfig:
+    return SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+
+
+@pytest.fixture()
+def simulator(config, example_table) -> DeploymentSimulator:
+    return DeploymentSimulator(config, example_table, seed=3)
+
+
+class TestLogGeneration:
+    def test_log_follows_request_mix(self, simulator):
+        log = simulator.generate_log(deployment="flights")
+        assert len(log) == sum(PAPER_REQUEST_MIX["flights"].values())
+        counts = {}
+        for entry in log:
+            counts[entry.intended_type] = counts.get(entry.intended_type, 0) + 1
+        expected = {
+            rtype: count for rtype, count in PAPER_REQUEST_MIX["flights"].items() if count > 0
+        }
+        assert counts == expected
+
+    def test_custom_mix(self, simulator):
+        mix = {RequestType.HELP: 2, RequestType.SUPPORTED_QUERY: 3}
+        log = simulator.generate_log(request_mix=mix)
+        assert len(log) == 5
+
+    def test_deterministic_given_seed(self, config, example_table):
+        a = DeploymentSimulator(config, example_table, seed=9).generate_log()
+        b = DeploymentSimulator(config, example_table, seed=9).generate_log()
+        assert [entry.text for entry in a] == [entry.text for entry in b]
+
+    def test_supported_queries_respect_config_limits(self, simulator, config):
+        log = simulator.generate_log(
+            request_mix={RequestType.SUPPORTED_QUERY: 30}
+        )
+        assert all(entry.predicates <= config.max_query_length for entry in log)
+
+    def test_parser_classification_matches_intent(self, simulator, config, example_table):
+        """The classifier recovers the intended mix from the generated texts."""
+        parser = NaturalLanguageParser(config, example_table)
+        log = simulator.generate_log(deployment="primaries")
+        analysis = analyse_requests([parser.parse(e.text) for e in log], config)
+        intended = PAPER_REQUEST_MIX["primaries"]
+        table_row = analysis.as_table_row()
+        assert table_row["Help"] == intended[RequestType.HELP]
+        assert table_row["Repeat"] == intended[RequestType.REPEAT]
+        # Data-access queries may shift slightly between the supported and
+        # unsupported buckets depending on extraction, but their total holds.
+        data_access = table_row["S-Query"] + table_row["U-Query"]
+        assert data_access == (
+            intended[RequestType.SUPPORTED_QUERY] + intended[RequestType.UNSUPPORTED_QUERY]
+        )
+
+
+class TestReplay:
+    def test_replay_attaches_responses(self, simulator, config, example_table):
+        engine = VoiceQueryEngine(config, example_table)
+        engine.preprocess(max_problems=30)
+        log = simulator.generate_log(
+            request_mix={RequestType.SUPPORTED_QUERY: 5, RequestType.HELP: 1}
+        )
+        replayed = simulator.replay(engine, log)
+        assert len(replayed) == 6
+        assert all(entry.response is not None for entry in replayed)

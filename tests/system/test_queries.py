@@ -1,0 +1,51 @@
+"""Unit tests for repro.system.queries."""
+
+from repro.core.model import Scope
+from repro.system.queries import DataQuery
+
+
+class TestDataQuery:
+    def test_create_sorts_predicates(self):
+        query = DataQuery.create("delay", {"season": "Winter", "region": "East"})
+        assert query.predicates == (("region", "East"), ("season", "Winter"))
+        assert query.predicate_map == {"region": "East", "season": "Winter"}
+        assert query.length == 2
+
+    def test_empty_query(self):
+        query = DataQuery.create("delay")
+        assert query.length == 0
+        assert query.scope() == Scope()
+        assert query.describe() == "delay overall"
+
+    def test_scope(self):
+        query = DataQuery.create("delay", {"region": "East"})
+        assert query.scope() == Scope({"region": "East"})
+
+    def test_key_is_canonical(self):
+        a = DataQuery.create("delay", {"a": 1, "b": 2})
+        b = DataQuery.create("delay", {"b": 2, "a": 1})
+        assert a.key() == b.key()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_refinement_of(self):
+        broad = DataQuery.create("delay", {"region": "East"})
+        narrow = DataQuery.create("delay", {"region": "East", "season": "Winter"})
+        assert narrow.is_refinement_of(broad)
+        assert narrow.is_refinement_of(narrow)
+        assert not broad.is_refinement_of(narrow)
+
+    def test_refinement_requires_same_target(self):
+        a = DataQuery.create("delay", {"region": "East"})
+        b = DataQuery.create("cancellation", {"region": "East"})
+        assert not a.is_refinement_of(b)
+
+    def test_refinement_requires_matching_values(self):
+        narrow = DataQuery.create("delay", {"region": "East", "season": "Winter"})
+        other = DataQuery.create("delay", {"region": "West"})
+        assert not narrow.is_refinement_of(other)
+
+    def test_describe_mentions_predicates(self):
+        query = DataQuery.create("delay", {"region": "East"})
+        assert "region=East" in query.describe()
+        assert query.describe().startswith("delay")

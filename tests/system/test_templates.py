@@ -1,0 +1,93 @@
+"""Unit tests for repro.system.templates."""
+
+from repro.core.model import Fact, Scope, Speech
+from repro.system.queries import DataQuery
+from repro.system.templates import SpeechRealizer, TargetPhrasing
+
+
+def _fact(assignments, value):
+    return Fact(scope=Scope(assignments), value=value, support=1)
+
+
+class TestFactSentences:
+    def test_leading_fact_with_scope(self):
+        realizer = SpeechRealizer()
+        text = realizer.realize_fact("delay_minutes", _fact({"season": "Winter"}, 15.0))
+        assert text == "The average delay minutes for season Winter is 15."
+
+    def test_leading_fact_without_scope(self):
+        realizer = SpeechRealizer()
+        text = realizer.realize_fact("delay", _fact({}, 12.5))
+        assert text == "The average delay is 12.5 overall."
+
+    def test_follow_up_facts_use_it_is(self):
+        realizer = SpeechRealizer()
+        speech = Speech([_fact({}, 12.5), _fact({"region": "North"}, 15.0)])
+        text = realizer.realize_facts("delay", speech)
+        assert "It is 15 for region North." in text
+
+    def test_empty_speech(self):
+        assert SpeechRealizer().realize_facts("delay", Speech()) == "No summary is available."
+
+
+class TestPhrasing:
+    def test_custom_subject_unit_and_scale(self):
+        realizer = SpeechRealizer(
+            target_phrasings={
+                "cancellation": TargetPhrasing(
+                    subject="the cancellation probability", unit="%", scale=100.0, decimals=1
+                )
+            }
+        )
+        text = realizer.realize_fact("cancellation", _fact({}, 0.062))
+        assert text == "The cancellation probability is 6.2% overall."
+
+    def test_small_values_keep_precision(self):
+        realizer = SpeechRealizer()
+        text = realizer.realize_fact("cancellation", _fact({}, 0.04))
+        assert "0.04" in text
+
+    def test_trailing_zeros_trimmed(self):
+        text = SpeechRealizer().realize_fact("delay", _fact({}, 20.0))
+        assert " 20 " in text or text.endswith("20 overall.")
+
+    def test_dimension_labels(self):
+        realizer = SpeechRealizer(dimension_labels={"origin_region": "the region"})
+        text = realizer.realize_fact("delay", _fact({"origin_region": "West"}, 9.0))
+        assert "the region West" in text
+
+
+class TestFullSpeeches:
+    def test_subset_prefix(self):
+        realizer = SpeechRealizer()
+        query = DataQuery.create("delay", {"season": "Winter", "region": "East"})
+        prefix = realizer.subset_prefix(query)
+        assert prefix.startswith("For ")
+        assert "season Winter" in prefix
+        assert "region East" in prefix
+        assert prefix.endswith(":")
+
+    def test_no_prefix_for_overall_query(self):
+        assert SpeechRealizer().subset_prefix(DataQuery.create("delay", {})) == ""
+
+    def test_realize_suppresses_query_predicates_in_facts(self):
+        """Scope values already fixed by the query are not repeated per fact."""
+        realizer = SpeechRealizer()
+        query = DataQuery.create("delay", {"season": "Winter"})
+        speech = Speech(
+            [
+                _fact({"season": "Winter"}, 15.0),
+                _fact({"season": "Winter", "region": "North"}, 15.0),
+            ]
+        )
+        text = realizer.realize(query, speech)
+        assert text.startswith("For season Winter:")
+        # The per-fact sentences mention only the additional restriction.
+        assert text.count("season Winter") == 1
+        assert "region North" in text
+
+    def test_realize_overall_query(self):
+        realizer = SpeechRealizer()
+        query = DataQuery.create("delay", {})
+        speech = Speech([_fact({}, 12.5)])
+        assert realizer.realize(query, speech) == "The average delay is 12.5 overall."

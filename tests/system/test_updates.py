@@ -1,0 +1,124 @@
+"""Unit tests for incremental speech-store maintenance (repro.system.updates)."""
+
+import pytest
+
+from repro.core.priors import ZeroPrior
+from repro.relational.column import ColumnType
+from repro.relational.table import Table
+from repro.system.config import SummarizationConfig
+from repro.system.preprocessor import Preprocessor
+from repro.system.problem_generator import ProblemGenerator
+from repro.system.queries import DataQuery
+from repro.system.updates import IncrementalMaintainer
+
+
+@pytest.fixture()
+def config() -> SummarizationConfig:
+    return SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=1,
+        max_facts_per_speech=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+
+
+@pytest.fixture()
+def prepared(config, example_table):
+    generator = ProblemGenerator(config, example_table, prior=ZeroPrior())
+    store, _ = Preprocessor(config).run(generator)
+    maintainer = IncrementalMaintainer(config, example_table, prior=ZeroPrior())
+    return store, maintainer
+
+
+def new_rows_table(rows) -> Table:
+    return Table.from_rows(
+        "flight_delays",
+        ["region", "season", "delay"],
+        [ColumnType.CATEGORICAL, ColumnType.CATEGORICAL, ColumnType.NUMERIC],
+        rows,
+    )
+
+
+class TestAffectedQueries:
+    def test_only_matching_subsets_are_affected(self, prepared):
+        _, maintainer = prepared
+        affected = maintainer.affected_queries(
+            new_rows_table([("North", "Winter", 90.0)])
+        )
+        described = {query.describe() for query in affected}
+        assert "delay overall" in described
+        assert "delay for region=North" in described
+        assert "delay for season=Winter" in described
+        # Subsets that gained no rows are not affected.
+        assert "delay for region=East" not in described
+        assert len(affected) == 3
+
+    def test_new_dimension_value_creates_new_query(self, prepared):
+        _, maintainer = prepared
+        affected = maintainer.affected_queries(
+            new_rows_table([("Midwest", "Winter", 12.0)])
+        )
+        described = {query.describe() for query in affected}
+        assert "delay for region=Midwest" in described
+
+
+class TestApplyAppendedRows:
+    def test_affected_speeches_are_rebuilt(self, prepared):
+        store, maintainer = prepared
+        winter_before = store.exact_match(DataQuery.create("delay", {"season": "Winter"}))
+        east_before = store.exact_match(DataQuery.create("delay", {"region": "East"}))
+
+        # A massive new delay in the North in Winter changes those subsets.
+        report = maintainer.apply_appended_rows(
+            new_rows_table([("North", "Winter", 200.0)]), store
+        )
+        assert report.new_rows == 1
+        assert report.affected_queries == 3
+        assert report.rebuilt_speeches == 3
+        assert report.total_seconds > 0
+
+        winter_after = store.exact_match(DataQuery.create("delay", {"season": "Winter"}))
+        east_after = store.exact_match(DataQuery.create("delay", {"region": "East"}))
+        # Affected speech changed (the new outlier dominates the subset).
+        assert winter_after.text != winter_before.text
+        # Unaffected speech is untouched (same object content).
+        assert east_after.text == east_before.text
+        assert east_after.utility == pytest.approx(east_before.utility)
+
+    def test_store_stays_consistent_with_full_rebuild(self, prepared, config):
+        store, maintainer = prepared
+        rows = [("South", "Summer", 55.0), ("West", "Fall", 5.0)]
+        maintainer.apply_appended_rows(new_rows_table(rows), store)
+
+        # A full rebuild over the updated table gives the same utilities.
+        generator = ProblemGenerator(config, maintainer.table, prior=ZeroPrior())
+        full_store, _ = Preprocessor(config).run(generator)
+        for stored in full_store:
+            incremental = store.exact_match(stored.query)
+            assert incremental is not None
+            assert incremental.utility == pytest.approx(stored.utility)
+
+    def test_new_value_speech_added(self, prepared):
+        store, maintainer = prepared
+        before = len(store)
+        maintainer.apply_appended_rows(
+            new_rows_table([("Midwest", "Winter", 10.0), ("Midwest", "Summer", 12.0)]),
+            store,
+        )
+        assert len(store) == before + 1
+        assert store.exact_match(DataQuery.create("delay", {"region": "Midwest"})) is not None
+
+    def test_report_counts_unchanged_speeches(self, prepared):
+        store, maintainer = prepared
+        report = maintainer.apply_appended_rows(
+            new_rows_table([("North", "Winter", 14.0)]), store
+        )
+        assert report.unchanged_speeches == len(store) - report.rebuilt_speeches
+        assert set(report.rebuilt_labels) == {
+            "delay overall",
+            "delay for region=North",
+            "delay for season=Winter",
+        }

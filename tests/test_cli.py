@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_preprocess_defaults(self):
+        args = build_parser().parse_args(["preprocess", "--dataset", "flights"])
+        assert args.algorithm == "G-O"
+        assert args.facts == 3
+        assert args.max_query_length == 1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["preprocess", "--dataset", "imdb"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("ACS NY", "Flights", "Primaries", "Stack Overflow"):
+            assert name in output
+
+    def test_preprocess_and_save(self, capsys, tmp_path):
+        store_path = tmp_path / "speeches.json"
+        code = main(
+            [
+                "preprocess",
+                "--dataset", "flights",
+                "--rows", "200",
+                "--dimensions", "origin_region", "season",
+                "--targets", "cancellation",
+                "--algorithm", "G-B",
+                "--max-problems", "5",
+                "--output", str(store_path),
+            ]
+        )
+        assert code == 0
+        assert store_path.exists()
+        output = capsys.readouterr().out
+        assert "generated 5 speeches" in output
+        assert str(store_path) in output
+
+    def test_ask_answers_questions(self, capsys):
+        code = main(
+            [
+                "ask",
+                "--dataset", "flights",
+                "--rows", "200",
+                "--dimensions", "origin_region", "season",
+                "--targets", "cancellation",
+                "--algorithm", "G-B",
+                "what is the cancellation for Winter",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "user : what is the cancellation for Winter" in output
+        assert "voice:" in output
+
+    def test_ask_from_saved_store(self, capsys, tmp_path):
+        store_path = tmp_path / "speeches.json"
+        main(
+            [
+                "preprocess",
+                "--dataset", "flights",
+                "--rows", "200",
+                "--dimensions", "origin_region", "season",
+                "--targets", "cancellation",
+                "--algorithm", "G-B",
+                "--output", str(store_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "ask",
+                "--dataset", "flights",
+                "--rows", "200",
+                "--dimensions", "origin_region", "season",
+                "--targets", "cancellation",
+                "--store", str(store_path),
+                "cancellation in Winter",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "loaded" in output
+        assert "voice:" in output
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "ACS NY" in output
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Unit tests for the conflict-resolution study (Figure 7)."""
+
+import pytest
+
+from repro.userstudy.conflict import MODEL_LABELS, ConflictStudy
+from repro.userstudy.worker import WorkerPool
+
+
+class TestConflictStudy:
+    def test_build_facts(self, example_relation):
+        study = ConflictStudy(pool=WorkerPool(size=5, seed=1))
+        facts = study.build_facts(
+            example_relation, "region", ("North", "East"), "season", ("Winter", "Summer")
+        )
+        assert len(facts) == 4
+        assert {f.scope.columns for f in facts} == {("region",), ("season",)}
+
+    def test_all_models_reported(self, example_relation):
+        study = ConflictStudy(pool=WorkerPool(size=10, seed=2), workers_per_combination=10)
+        result = study.run(
+            example_relation,
+            "region",
+            ("North", "East"),
+            "season",
+            ("Winter", "Summer"),
+            prior=0.0,
+        )
+        assert set(result.errors) == set(MODEL_LABELS.values())
+        assert result.combinations == 4
+        assert result.hits == 40
+
+    def test_closest_model_wins_with_closest_population(self, example_relation):
+        pool = WorkerPool(size=30, seed=3, closest_fraction=1.0, average_fraction=0.0, noise=0.05)
+        study = ConflictStudy(pool=pool, workers_per_combination=30)
+        result = study.run(
+            example_relation,
+            "region",
+            ("North", "East"),
+            "season",
+            ("Winter", "Summer"),
+            prior=0.0,
+        )
+        assert result.best_model() == "Closest"
+        assert result.errors["Closest"] <= result.errors["Farthest"]
+
+    def test_missing_combinations_are_skipped(self, example_relation):
+        study = ConflictStudy(pool=WorkerPool(size=5, seed=4), workers_per_combination=5)
+        result = study.run(
+            example_relation,
+            "region",
+            ("North",),
+            "season",
+            ("Winter",),
+            prior=0.0,
+        )
+        assert result.combinations == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the estimation study (Figure 6)."""
+
+import pytest
+
+from repro.core.model import Speech
+from repro.userstudy.estimation import EstimationStudy
+from repro.userstudy.worker import WorkerPool
+
+
+@pytest.fixture()
+def speeches(example_relation):
+    good = Speech(
+        [
+            example_relation.make_fact({"season": "Winter"}),
+            example_relation.make_fact({"region": "North"}),
+            example_relation.make_fact({}),
+        ]
+    )
+    bad = Speech([example_relation.make_fact({"region": "East", "season": "Spring"})])
+    return {"best": good, "worst": bad}
+
+
+class TestEstimationStudy:
+    def test_collects_all_points(self, example_relation, speeches):
+        study = EstimationStudy(pool=WorkerPool(size=10, seed=1), workers_per_point=10)
+        points = [
+            {"region": region, "season": season}
+            for region in ("East", "North")
+            for season in ("Winter", "Summer")
+        ]
+        result = study.run(example_relation, speeches, points, prior=0.0)
+        assert len(result.points) == 4
+        assert result.hits == 4 * 2 * 10
+        for point in result.points:
+            assert set(point.estimates) == {"best", "worst"}
+
+    def test_better_speech_gives_lower_error(self, example_relation, speeches):
+        study = EstimationStudy(pool=WorkerPool(size=20, seed=2), workers_per_point=20)
+        points = [
+            {"region": region, "season": season}
+            for region in ("East", "South", "West", "North")
+            for season in ("Winter", "Summer", "Fall")
+        ]
+        result = study.run(example_relation, speeches, points, prior=0.0)
+        assert result.mean_absolute_error("best") < result.mean_absolute_error("worst")
+
+    def test_unknown_points_are_skipped(self, example_relation, speeches):
+        study = EstimationStudy(pool=WorkerPool(size=5, seed=3), workers_per_point=5)
+        points = [{"region": "Atlantis", "season": "Winter"}]
+        result = study.run(example_relation, speeches, points, prior=0.0)
+        assert result.points == []
+        assert result.mean_absolute_error("best") == 0.0
+
+    def test_point_error_helper(self, example_relation, speeches):
+        study = EstimationStudy(pool=WorkerPool(size=5, seed=4), workers_per_point=5)
+        result = study.run(
+            example_relation, speeches, [{"region": "North", "season": "Winter"}], prior=0.0
+        )
+        point = result.points[0]
+        assert point.error("best") == pytest.approx(abs(point.estimates["best"] - point.correct))

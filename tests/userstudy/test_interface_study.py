@@ -1,0 +1,58 @@
+"""Unit tests for the interface comparison study (Figure 8)."""
+
+import pytest
+
+from repro.system.config import SummarizationConfig
+from repro.system.engine import VoiceQueryEngine
+from repro.userstudy.interface_study import InterfaceStudy
+
+
+@pytest.fixture()
+def engine(example_table) -> VoiceQueryEngine:
+    config = SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=2,
+        max_facts_per_speech=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+    engine = VoiceQueryEngine(config, example_table, target_synonyms={"delay": ["delays"]})
+    engine.preprocess()
+    return engine
+
+
+class TestInterfaceStudy:
+    def test_participant_results(self, engine):
+        study = InterfaceStudy(engine, participants=4, questions_per_interface=2, seed=1)
+        result = study.run()
+        assert len(result.participants) == 4
+        assert result.questions_asked == 8
+        for participant in result.participants:
+            assert participant.vocal_time > 0
+            assert participant.visual_time > 0
+            assert 1.0 <= participant.vocal_rating <= 10.0
+            assert 1.0 <= participant.visual_rating <= 10.0
+
+    def test_aggregates(self, engine):
+        study = InterfaceStudy(engine, participants=6, questions_per_interface=2, seed=2)
+        result = study.run()
+        assert result.median_vocal_time > 0
+        assert result.median_visual_time > 0
+        assert 0 <= result.faster_with_voice <= 6
+        assert result.mean_vocal_rating > 0
+        assert result.mean_visual_rating > 0
+
+    def test_questions_are_answerable(self, engine):
+        """Most generated questions should be answered from the store."""
+        study = InterfaceStudy(engine, participants=5, questions_per_interface=3, seed=3)
+        result = study.run()
+        assert result.unanswered_questions <= result.questions_asked // 2
+
+    def test_empty_study(self, engine):
+        study = InterfaceStudy(engine, participants=0, questions_per_interface=1, seed=4)
+        result = study.run()
+        assert result.participants == []
+        assert result.median_vocal_time == 0.0
+        assert result.mean_vocal_rating == 0.0

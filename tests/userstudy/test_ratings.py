@@ -1,0 +1,75 @@
+"""Unit tests for the rating study (Figures 5 and 11)."""
+
+import pytest
+
+from repro.userstudy.ratings import (
+    DEFAULT_ADJECTIVES,
+    EXTENDED_ADJECTIVES,
+    RatingStudy,
+    SpeechCandidate,
+)
+from repro.userstudy.worker import WorkerPool
+
+
+CANDIDATES = [
+    SpeechCandidate(label="Worst", text="bad speech", scaled_utility=0.05),
+    SpeechCandidate(label="Medium", text="ok speech", scaled_utility=0.4),
+    SpeechCandidate(label="Best", text="great speech", scaled_utility=0.9),
+]
+
+
+class TestRatingStudy:
+    def test_requires_two_candidates(self):
+        study = RatingStudy(pool=WorkerPool(size=5, seed=1))
+        with pytest.raises(ValueError):
+            study.run(CANDIDATES[:1])
+
+    def test_all_adjectives_rated(self):
+        study = RatingStudy(pool=WorkerPool(size=10, seed=1))
+        result = study.run(CANDIDATES)
+        for candidate in CANDIDATES:
+            assert set(result.average_ratings[candidate.label]) == set(DEFAULT_ADJECTIVES)
+            for rating in result.average_ratings[candidate.label].values():
+                assert 1.0 <= rating <= 10.0
+
+    def test_better_speech_rated_higher(self):
+        study = RatingStudy(pool=WorkerPool(size=30, seed=2))
+        result = study.run(CANDIDATES)
+        for adjective in DEFAULT_ADJECTIVES:
+            assert (
+                result.average_ratings["Best"][adjective]
+                > result.average_ratings["Worst"][adjective]
+            )
+
+    def test_wins_ordering(self):
+        study = RatingStudy(pool=WorkerPool(size=30, seed=3))
+        result = study.run(CANDIDATES)
+        assert result.wins["Best"] > result.wins["Worst"]
+        total_wins = sum(result.wins.values())
+        # Each worker compares each unordered pair once per adjective.
+        assert total_wins == 30 * 3 * len(DEFAULT_ADJECTIVES)
+
+    def test_ranking_helper(self):
+        study = RatingStudy(pool=WorkerPool(size=30, seed=4))
+        result = study.run(CANDIDATES)
+        assert result.ranking()[0] == "Best"
+        assert result.ranking()[-1] == "Worst"
+
+    def test_extended_adjectives(self):
+        study = RatingStudy(pool=WorkerPool(size=5, seed=5), adjectives=EXTENDED_ADJECTIVES)
+        result = study.run(CANDIDATES[:2])
+        assert set(result.average_ratings["Worst"]) == set(EXTENDED_ADJECTIVES)
+
+    def test_precision_bonus_shifts_ratings(self):
+        study = RatingStudy(pool=WorkerPool(size=40, seed=6))
+        plain = SpeechCandidate("A", "text", 0.5)
+        boosted = SpeechCandidate("B", "text", 0.5, precision_bonus=0.3)
+        result = study.run([plain, boosted])
+        mean_plain = sum(result.average_ratings["A"].values()) / len(DEFAULT_ADJECTIVES)
+        mean_boosted = sum(result.average_ratings["B"].values()) / len(DEFAULT_ADJECTIVES)
+        assert mean_boosted > mean_plain
+
+    def test_hits_counted(self):
+        study = RatingStudy(pool=WorkerPool(size=5, seed=7))
+        result = study.run(CANDIDATES[:2])
+        assert result.hits > 0

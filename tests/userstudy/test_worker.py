@@ -1,0 +1,93 @@
+"""Unit tests for the simulated crowd workers."""
+
+import pytest
+
+from repro.core.model import Fact, Scope
+from repro.userstudy.worker import SimulatedWorker, WorkerBehaviour, WorkerPool
+
+
+def _fact(assignments, value):
+    return Fact(scope=Scope(assignments), value=value, support=1)
+
+
+ROW = {"borough": "Bronx", "age_group": "Elders"}
+FACTS = [_fact({"borough": "Bronx"}, 40.0), _fact({"age_group": "Elders"}, 90.0)]
+
+
+class TestEstimation:
+    def test_closest_worker_tracks_truth(self):
+        worker = SimulatedWorker(behaviour=WorkerBehaviour.CLOSEST, noise=0.0, seed=1)
+        estimate = worker.estimate(FACTS, ROW, true_value=85.0, prior=30.0)
+        assert estimate == pytest.approx(90.0)
+
+    def test_farthest_worker_picks_worst_value(self):
+        worker = SimulatedWorker(behaviour=WorkerBehaviour.FARTHEST, noise=0.0, seed=1)
+        estimate = worker.estimate(FACTS, ROW, true_value=85.0, prior=30.0)
+        assert estimate == pytest.approx(30.0)
+
+    def test_average_scope_worker(self):
+        worker = SimulatedWorker(behaviour=WorkerBehaviour.AVERAGE_SCOPE, noise=0.0, seed=1)
+        estimate = worker.estimate(FACTS, ROW, true_value=85.0, prior=30.0)
+        assert estimate == pytest.approx(65.0)
+
+    def test_average_all_worker_ignores_relevance(self):
+        worker = SimulatedWorker(behaviour=WorkerBehaviour.AVERAGE_ALL, noise=0.0, seed=1)
+        irrelevant = FACTS + [_fact({"borough": "Queens"}, 10.0)]
+        estimate = worker.estimate(irrelevant, ROW, true_value=85.0, prior=30.0)
+        assert estimate == pytest.approx((40.0 + 90.0 + 10.0) / 3)
+
+    def test_no_relevant_facts_falls_back_to_prior(self):
+        worker = SimulatedWorker(behaviour=WorkerBehaviour.AVERAGE_SCOPE, noise=0.0, seed=1)
+        estimate = worker.estimate([], ROW, true_value=85.0, prior=30.0)
+        assert estimate == pytest.approx(30.0)
+
+    def test_noise_perturbs_estimates(self):
+        worker = SimulatedWorker(noise=0.3, seed=5)
+        estimates = {worker.estimate(FACTS, ROW, 85.0, 30.0) for _ in range(10)}
+        assert len(estimates) > 1
+
+
+class TestRatings:
+    def test_ratings_increase_with_quality(self):
+        worker = SimulatedWorker(rating_noise=0.0, seed=1)
+        assert worker.rate(0.9) > worker.rate(0.1)
+
+    def test_ratings_bounded(self):
+        worker = SimulatedWorker(rating_noise=5.0, seed=2)
+        for quality in (0.0, 0.5, 1.0):
+            for _ in range(20):
+                assert 1.0 <= worker.rate(quality) <= 10.0
+
+    def test_preference_favours_better_speech(self):
+        worker = SimulatedWorker(seed=3)
+        wins = sum(worker.prefers(0.9, 0.1) for _ in range(200))
+        assert wins > 150
+
+    def test_preference_is_roughly_symmetric_for_ties(self):
+        worker = SimulatedWorker(seed=4)
+        wins = sum(worker.prefers(0.5, 0.5) for _ in range(400))
+        assert 120 < wins < 280
+
+
+class TestWorkerPool:
+    def test_pool_size_and_iteration(self):
+        pool = WorkerPool(size=20, seed=1)
+        assert len(pool) == 20
+        assert len(list(pool)) == 20
+        assert len(pool.workers) == 20
+
+    def test_pool_composition_mostly_closest(self):
+        pool = WorkerPool(size=200, seed=2, closest_fraction=0.7, average_fraction=0.2)
+        closest = sum(1 for w in pool if w.behaviour is WorkerBehaviour.CLOSEST)
+        assert closest > 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkerPool(size=0)
+        with pytest.raises(ValueError):
+            WorkerPool(closest_fraction=0.9, average_fraction=0.5)
+
+    def test_deterministic_given_seed(self):
+        a = WorkerPool(size=10, seed=3)
+        b = WorkerPool(size=10, seed=3)
+        assert [w.behaviour for w in a] == [w.behaviour for w in b]
