@@ -7,12 +7,19 @@ first computing gains only for *source* groups and then discarding
 *target* groups (plus their specializations) whose per-scope deviation
 bound is dominated by the best source gain.  The globally best fact is
 never discarded, so the greedy guarantee is preserved.
+
+Gain evaluation runs through the vectorized
+:class:`repro.core.kernel.FactScopeIndex`: the pruner builds one CSR
+index over all candidates up front and evaluates each phase (sources,
+then surviving groups) as a single masked batch pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.algorithms.base import SummarizerStatistics
 from repro.algorithms.cost_model import PruningPlan
@@ -72,6 +79,15 @@ class FactGroupPruner:
     def __init__(self, by_group: Mapping[FactGroup, Sequence[Fact]], evaluator: UtilityEvaluator):
         self._by_group = {group: list(facts) for group, facts in by_group.items()}
         self._evaluator = evaluator
+        # Flatten the groups into one CSR scope index; remember which
+        # fact ids belong to which group for masked batch evaluation.
+        self._facts: list[Fact] = []
+        self._ids_by_group: dict[FactGroup, np.ndarray] = {}
+        for group, facts in self._by_group.items():
+            start = len(self._facts)
+            self._facts.extend(facts)
+            self._ids_by_group[group] = np.arange(start, len(self._facts))
+        self._index = evaluator.fact_scope_index(self._facts)
 
     @property
     def groups(self) -> list[FactGroup]:
@@ -96,18 +112,26 @@ class FactGroupPruner:
         outcome = PruningOutcome()
         remaining = set(self._by_group)
 
-        # Line 9: utility gains for the pruning sources.
-        max_source_gain = float("-inf")
-        for source in plan.sources:
-            if source not in self._by_group:
-                continue
-            for fact in self._by_group[source]:
+        active = np.ones(self._index.num_facts, dtype=bool)
+        if excluded:
+            for i, fact in enumerate(self._facts):
                 if fact in excluded:
-                    continue
-                gain = self._evaluator.incremental_gain(fact, state)
-                stats.fact_evaluations += 1
-                outcome.gains[fact] = gain
-                max_source_gain = max(max_source_gain, gain)
+                    active[i] = False
+
+        # Line 9: utility gains for the pruning sources (one batch pass).
+        source_mask = np.zeros(self._index.num_facts, dtype=bool)
+        for source in plan.sources:
+            ids = self._ids_by_group.get(source)
+            if ids is not None:
+                source_mask[ids] = True
+        source_mask &= active
+        max_source_gain = float("-inf")
+        if source_mask.any():
+            gains = self._index.subset_gains(source_mask, state.error)
+            stats.fact_evaluations += int(source_mask.sum())
+            for i in np.flatnonzero(source_mask):
+                outcome.gains[self._facts[i]] = float(gains[i])
+            max_source_gain = float(gains[source_mask].max())
 
         # Lines 11-22: prune dominated targets and their specializations.
         if plan.sources and max_source_gain > float("-inf"):
@@ -123,15 +147,18 @@ class FactGroupPruner:
                             outcome.pruned_groups.append(group)
                             stats.groups_pruned += 1
 
-        # Line 24: gains for the facts of all surviving groups.
+        # Line 24: gains for the facts of all surviving groups (second batch).
         source_set = set(plan.sources)
-        for group in remaining:
-            if group in source_set:
-                continue
-            for fact in self._by_group[group]:
-                if fact in excluded or fact in outcome.gains:
-                    continue
-                gain = self._evaluator.incremental_gain(fact, state)
-                stats.fact_evaluations += 1
-                outcome.gains[fact] = gain
+        survivor_mask = np.zeros(self._index.num_facts, dtype=bool)
+        for group in self._by_group:
+            if group in remaining and group not in source_set:
+                survivor_mask[self._ids_by_group[group]] = True
+        survivor_mask &= active & ~source_mask
+        if survivor_mask.any():
+            gains = self._index.subset_gains(survivor_mask, state.error)
+            stats.fact_evaluations += int(survivor_mask.sum())
+            for i in np.flatnonzero(survivor_mask):
+                fact = self._facts[i]
+                if fact not in outcome.gains:
+                    outcome.gains[fact] = float(gains[i])
         return outcome

@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.base import Summarizer, SummarizerStatistics
+from repro.core.kernel import FactScopeIndex
 from repro.core.model import Fact, Scope, Speech
 from repro.core.problem import SummarizationProblem
-from repro.core.utility import UtilityEvaluator
 
 
 @dataclass(frozen=True)
@@ -162,7 +162,9 @@ class SamplingBaselineSummarizer(Summarizer):
         sampled_indices: np.ndarray = np.empty(0, dtype=int)
 
         state = evaluator.initial_state()
-        selected: set[Fact] = set()
+        facts = list(problem.candidate_facts)
+        index = evaluator.fact_scope_index(facts)
+        active = np.ones(len(facts), dtype=bool)
 
         for position in range(problem.max_facts):
             # Each fact selection refines the accumulated sample.
@@ -171,13 +173,18 @@ class SamplingBaselineSummarizer(Summarizer):
                 sampled_indices = np.concatenate([sampled_indices, fresh])
                 summary.sample_rows += sample_size
 
-            best_fact, best_gain = self._best_fact_on_sample(
-                problem, evaluator, state, sampled_indices, selected, stats
+            best_id, best_gain = self._best_fact_on_sample(
+                index, state, sampled_indices, active, n, stats
             )
-            if best_fact is None or (best_gain <= 0.0 and selected):
+            if best_id is None or (best_gain <= 0.0 and summary.selected_facts):
                 break
-            evaluator.apply_fact(best_fact, state)
-            selected.add(best_fact)
+            best_fact = facts[best_id]
+            index.apply_fact(best_id, state)
+            # Equal facts (same scope and value) are interchangeable;
+            # deactivate them all, mirroring the set-based dedup.
+            for j, fact in enumerate(facts):
+                if fact == best_fact:
+                    active[j] = False
             summary.selected_facts.append(best_fact)
             summary.range_facts.append(
                 self._range_fact(relation, best_fact, sampled_indices)
@@ -196,38 +203,39 @@ class SamplingBaselineSummarizer(Summarizer):
     # ------------------------------------------------------------------
     def _best_fact_on_sample(
         self,
-        problem: SummarizationProblem,
-        evaluator: UtilityEvaluator,
+        index: FactScopeIndex,
         state,
         sampled_indices: np.ndarray,
-        selected: set[Fact],
+        active: np.ndarray,
+        num_rows: int,
         stats: SummarizerStatistics,
-    ) -> tuple[Fact | None, float]:
-        """Greedy fact choice using gains estimated on the sample only."""
-        relation = problem.relation
-        truth = relation.target_values
-        sample_set = sampled_indices
-        best_fact: Fact | None = None
-        best_gain = float("-inf")
-        for fact in problem.candidate_facts:
-            if fact in selected:
-                continue
-            scope_rows = evaluator.scope_indices(fact.scope)
-            if scope_rows.size == 0:
-                continue
-            in_sample = np.intersect1d(scope_rows, sample_set, assume_unique=False)
-            stats.fact_evaluations += 1
-            if in_sample.size == 0:
-                continue
-            fact_error = np.abs(fact.value - truth[in_sample])
-            gain = float(np.maximum(state.error[in_sample] - fact_error, 0.0).sum())
-            # Scale the sampled gain up to the full relation.
-            gain *= scope_rows.size / in_sample.size
-            if gain > best_gain:
-                best_fact, best_gain = fact, gain
-        if best_fact is None:
+    ) -> tuple[int | None, float]:
+        """Greedy fact choice using gains estimated on the sample only.
+
+        All candidate estimates come from one masked kernel pass; gains
+        are scaled from the in-sample scope rows to the full scope.
+        """
+        row_mask = np.zeros(num_rows, dtype=bool)
+        row_mask[sampled_indices] = True
+        gains, counts = index.sampled_gains(state.error, row_mask)
+
+        evaluable = active & (index.supports > 0)
+        stats.fact_evaluations += int(evaluable.sum())
+        evaluable &= counts > 0
+        if not evaluable.any():
             return None, 0.0
-        return best_fact, best_gain
+        # Scale the sampled gain up to the full relation, with the ratio
+        # computed first — the same rounding order as the historical
+        # per-fact loop.  (Sampled gains themselves are summed by the
+        # kernel's bincount, whose accumulation order can still flip
+        # exact ties against the pre-vectorized implementation; sampled
+        # estimates carry no ordering guarantee on ties.)
+        scaled = np.full(index.num_facts, -np.inf)
+        scaled[evaluable] = gains[evaluable] * (
+            index.supports[evaluable] / counts[evaluable]
+        )
+        best_id = int(np.argmax(scaled))
+        return best_id, float(scaled[best_id])
 
     def _range_fact(self, relation, fact: Fact, sampled_indices: np.ndarray) -> RangeFact:
         """Build the reported value range from the sampled rows in scope."""

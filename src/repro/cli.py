@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.algorithms.registry import available_summarizers
 from repro.datasets import available_datasets, dataset_overview, load_dataset
 from repro.experiments.runner import ExperimentResult, format_rows
 from repro.system.config import SummarizationConfig
@@ -82,7 +83,10 @@ def _build_engine(args: argparse.Namespace) -> VoiceQueryEngine:
         algorithm=args.algorithm,
     )
     return VoiceQueryEngine(
-        config, dataset.table, enable_advanced_queries=args.advanced
+        config,
+        dataset.table,
+        enable_advanced_queries=args.advanced,
+        use_shared_cube=args.shared_cube,
     )
 
 
@@ -97,11 +101,20 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--fact-dimensions", type=int, default=1, dest="fact_dimensions",
         help="extra dimensions per fact",
     )
-    parser.add_argument("--algorithm", default="G-O", help="summarizer name (e.g. G-B, G-O, E)")
+    parser.add_argument(
+        "--algorithm", default="G-O",
+        help=f"summarizer name, one of: {', '.join(available_summarizers())} "
+        "(G-L is the lazy-greedy kernel variant)",
+    )
     parser.add_argument("--max-problems", type=int, default=None, dest="max_problems")
     parser.add_argument(
         "--advanced", action="store_true",
         help="answer comparison/extremum questions via the extension",
+    )
+    parser.add_argument(
+        "--shared-cube", action="store_true", dest="shared_cube",
+        help="serve candidate facts from one shared data cube per target "
+        "during pre-processing (single-pass aggregation across queries)",
     )
 
 

@@ -25,6 +25,7 @@ from repro.core.expectation import (
     ExpectationModel,
     FarthestRelevantFactModel,
 )
+from repro.core.kernel import FactScopeIndex
 from repro.core.utility import UtilityEvaluator
 from repro.core.problem import SummarizationProblem
 
@@ -46,6 +47,7 @@ __all__ = [
     "FarthestRelevantFactModel",
     "AverageOfScopeFactsModel",
     "AverageOfAllFactsModel",
+    "FactScopeIndex",
     "UtilityEvaluator",
     "SummarizationProblem",
 ]

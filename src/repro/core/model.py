@@ -31,11 +31,15 @@ class Scope:
     be members of sets.  The empty scope covers the whole relation.
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_columns", "_values")
 
     def __init__(self, assignments: Mapping[str, Any] | None = None):
         items = tuple(sorted((assignments or {}).items()))
         object.__setattr__(self, "_items", items)
+        # Precomputed projections: scopes are created once per fact but
+        # queried per candidate per greedy iteration.
+        object.__setattr__(self, "_columns", tuple(col for col, _ in items))
+        object.__setattr__(self, "_values", tuple(val for _, val in items))
 
     # Mapping-like interface -------------------------------------------------
     @property
@@ -46,7 +50,12 @@ class Scope:
     @property
     def columns(self) -> tuple[str, ...]:
         """The restricted dimension columns, sorted by name."""
-        return tuple(col for col, _ in self._items)
+        return self._columns
+
+    @property
+    def sorted_values(self) -> tuple[Any, ...]:
+        """The assigned values, in sorted-column order (pairs ``columns``)."""
+        return self._values
 
     def value(self, column: str) -> Any:
         """Value assigned to ``column`` (KeyError if unrestricted)."""
@@ -228,6 +237,11 @@ class SummarizationRelation:
         # summarization problem; they are dropped from the view.
         keep = [v is not None for v in target_col]
         self._view = table.mask(keep) if not all(keep) else table
+        self._codes_cache: dict[str, tuple[np.ndarray, list[Any], dict[Any, int]]] = {}
+        self._grouping_cache: dict[tuple[str, ...], tuple[np.ndarray, list[tuple[Any, ...]]]] = {}
+        self._segments_cache: dict[
+            tuple[str, ...], tuple[np.ndarray, np.ndarray, dict[tuple[Any, ...], int]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Accessors
@@ -285,6 +299,126 @@ class SummarizationRelation:
     # ------------------------------------------------------------------
     # Scope machinery
     # ------------------------------------------------------------------
+    def dimension_codes(self, dimension: str) -> tuple[np.ndarray, list[Any], dict[Any, int]]:
+        """Integer codes for one dimension column (cached).
+
+        Returns ``(codes, decode, code_of)``: per-row integer codes in
+        first-appearance order, the code -> value table, and the
+        value -> code lookup.  NULL is treated as a regular value; the
+        callers that must skip NULLs filter on the decoded values.
+        """
+        cached = self._codes_cache.get(dimension)
+        if cached is None:
+            if dimension not in self._dimensions:
+                raise InvalidProblemError(
+                    f"{dimension!r} is not a dimension of relation {self.name!r}"
+                )
+            values = self._dimension_values[dimension]
+            code_of: dict[Any, int] = {}
+            decode: list[Any] = []
+            codes = np.empty(len(values), dtype=np.int64)
+            for i, value in enumerate(values):
+                code = code_of.get(value)
+                if code is None:
+                    code = len(decode)
+                    code_of[value] = code
+                    decode.append(value)
+                codes[i] = code
+            cached = (codes, decode, code_of)
+            self._codes_cache[dimension] = cached
+        return cached
+
+    def grouping(self, columns: Sequence[str]) -> tuple[np.ndarray, list[tuple[Any, ...]]]:
+        """Compact group ids per row for a column combination (cached).
+
+        Returns ``(inverse, keys)``: ``inverse[r]`` is the group id of
+        row ``r`` and ``keys[g]`` the value tuple of group ``g`` (in
+        ``columns`` order).  Group ids follow first appearance in the
+        data, matching the historical dict-insertion order of
+        :meth:`group_rows_by`.
+        """
+        key = tuple(columns)
+        cached = self._grouping_cache.get(key)
+        if cached is not None:
+            return cached
+        if not key:
+            cached = (np.zeros(self.num_rows, dtype=np.int64), [()])
+            self._grouping_cache[key] = cached
+            return cached
+
+        # Compose one mixed-radix code per row from the per-column codes.
+        # When the radix product could overflow int64 (extreme per-column
+        # cardinalities), fall back to dict-based grouping: silent
+        # wrap-around would merge distinct groups.
+        per_column = [self.dimension_codes(c) for c in key]
+        radix_product = 1
+        for _, decode, _ in per_column:
+            radix_product *= max(len(decode), 1)
+        if radix_product > 2**62:
+            value_lists = [self._dimension_values[c] for c in key]
+            group_of: dict[tuple[Any, ...], int] = {}
+            keys = []
+            inverse = np.empty(self.num_rows, dtype=np.int64)
+            for i, row_key in enumerate(zip(*value_lists)):
+                group = group_of.get(row_key)
+                if group is None:
+                    group = len(keys)
+                    group_of[row_key] = group
+                    keys.append(row_key)
+                inverse[i] = group
+            cached = (inverse, keys)
+            self._grouping_cache[key] = cached
+            return cached
+        combined = per_column[0][0]
+        for codes, decode, _ in per_column[1:]:
+            combined = combined * len(decode) + codes
+        uniques, first_pos, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        # np.unique sorts by code value; renumber groups by first appearance.
+        appearance = np.argsort(first_pos, kind="stable")
+        rank = np.empty(uniques.size, dtype=np.int64)
+        rank[appearance] = np.arange(uniques.size)
+        inverse = rank[inverse]
+
+        keys: list[tuple[Any, ...]] = []
+        for code in uniques[appearance]:
+            parts: list[Any] = []
+            for codes, decode, _ in reversed(per_column[1:]):
+                code, part = divmod(int(code), len(decode))
+                parts.append(decode[part])
+            parts.append(per_column[0][1][int(code)])
+            keys.append(tuple(reversed(parts)))
+        cached = (inverse, keys)
+        self._grouping_cache[key] = cached
+        return cached
+
+    def group_segments(
+        self, columns: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, dict[tuple[Any, ...], int]]:
+        """Cached grouped row layout for one column combination.
+
+        Returns ``(order, offsets, key_to_group)``: ``order`` holds all
+        row indices sorted by group (ascending within each group),
+        ``order[offsets[g]:offsets[g + 1]]`` slices group ``g``'s rows,
+        and ``key_to_group`` maps value tuples to group ids.  Because
+        the relation is immutable this is computed once per combination;
+        the batch kernel's index build then resolves each fact's scope
+        rows with a dict lookup and a slice instead of a row scan.
+        """
+        key = tuple(columns)
+        cached = self._segments_cache.get(key)
+        if cached is None:
+            inverse, keys = self.grouping(key)
+            order = np.argsort(inverse, kind="stable")
+            counts = np.bincount(inverse, minlength=len(keys))
+            offsets = np.zeros(len(keys) + 1, dtype=np.intp)
+            np.cumsum(counts, out=offsets[1:])
+            key_to_group = {group_key: g for g, group_key in enumerate(keys)}
+            cached = (order, offsets, key_to_group)
+            self._segments_cache[key] = cached
+        return cached
+
     def scope_row_indices(self, scope: Scope) -> np.ndarray:
         """Indices of rows within ``scope`` (ascending)."""
         mask = self.scope_mask(scope)
@@ -299,8 +433,9 @@ class SummarizationRelation:
                     f"scope restricts {column!r}, which is not a dimension of "
                     f"relation {self.name!r}"
                 )
-            col_values = self._dimension_values[column]
-            mask &= np.array([v == value for v in col_values], dtype=bool)
+            codes, _, code_of = self.dimension_codes(column)
+            # A value absent from the column matches no row (-1 is never a code).
+            mask &= codes == code_of.get(value, -1)
         return mask
 
     def average_target(self, scope: Scope) -> tuple[float | None, int]:
@@ -333,14 +468,8 @@ class SummarizationRelation:
         """
         if not columns:
             return {(): np.arange(self.num_rows)}
-        for column in columns:
-            if column not in self._dimensions:
-                raise InvalidProblemError(
-                    f"{column!r} is not a dimension of relation {self.name!r}"
-                )
-        groups: dict[tuple[Any, ...], list[int]] = {}
-        value_lists = [self._dimension_values[c] for c in columns]
-        for i in range(self.num_rows):
-            key = tuple(values[i] for values in value_lists)
-            groups.setdefault(key, []).append(i)
-        return {key: np.array(indices, dtype=int) for key, indices in groups.items()}
+        order, offsets, key_to_group = self.group_segments(columns)
+        return {
+            key: order[offsets[g] : offsets[g + 1]]
+            for key, g in key_to_group.items()
+        }

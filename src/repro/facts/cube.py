@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
+
+import numpy as np
 
 from repro.core.model import Fact, Scope, SummarizationRelation
 from repro.facts.generation import GeneratedFacts
@@ -40,7 +42,14 @@ class _CubeCell:
 class DataCube:
     """Sum/count aggregates for all column combinations up to ``max_arity``.
 
-    Cells are keyed by (sorted column tuple, value tuple in that order).
+    Cells are stored in a two-level index — column combination first,
+    then value tuple — so :meth:`cells_for_columns` touches only the
+    cells of the requested combination instead of scanning every cell.
+
+    The build is a single factorize-then-aggregate pass: each dimension
+    is encoded to integer codes once, per-combination keys are composed
+    in mixed radix from those codes, and sums/counts fall out of two
+    ``np.bincount`` calls per combination — no per-row Python.
     """
 
     def __init__(self, relation: SummarizationRelation, max_arity: int):
@@ -48,22 +57,43 @@ class DataCube:
             raise ValueError("max_arity must be non-negative")
         self._relation = relation
         self._max_arity = min(max_arity, len(relation.dimensions))
-        self._cells: dict[tuple[tuple[str, ...], tuple[Any, ...]], _CubeCell] = {}
+        self._cells_by_columns: dict[tuple[str, ...], dict[tuple[Any, ...], _CubeCell]] = {}
         self._build()
 
     def _build(self) -> None:
-        target = self._relation.target_values
-        dimensions = sorted(self._relation.dimensions)
+        relation = self._relation
+        target = relation.target_values
+        dimensions = sorted(relation.dimensions)
         for arity in range(0, self._max_arity + 1):
             for columns in combinations(dimensions, arity):
-                groups = self._relation.group_rows_by(list(columns))
-                for values, indices in groups.items():
-                    if any(v is None for v in values):
-                        continue
-                    cell_values = target[indices]
-                    self._cells[(columns, values)] = _CubeCell(
-                        total=float(cell_values.sum()), count=int(indices.size)
-                    )
+                self._cells_by_columns[columns] = self._aggregate(columns, target)
+
+    def _aggregate(
+        self, columns: tuple[str, ...], target: np.ndarray
+    ) -> dict[tuple[Any, ...], _CubeCell]:
+        """Sum/count cells of one column combination.
+
+        Reuses the relation's cached grouped row layout; combinations
+        containing NULL values are skipped (they describe no fact).
+        Each cell's target slice is ascending in row order and summed
+        with NumPy's pairwise summation — bitwise-identical to the
+        per-query generator's ``values.mean()`` over the same rows,
+        which the parity tests rely on.
+        """
+        if not columns:
+            return {(): _CubeCell(total=float(target.sum()), count=int(target.size))}
+        order, offsets, key_to_group = self._relation.group_segments(columns)
+        target_grouped = target[order]
+        cells: dict[tuple[Any, ...], _CubeCell] = {}
+        for key, group in key_to_group.items():
+            if any(value is None for value in key):
+                continue
+            lo = offsets[group]
+            hi = offsets[group + 1]
+            cells[key] = _CubeCell(
+                total=float(target_grouped[lo:hi].sum()), count=int(hi - lo)
+            )
+        return cells
 
     @property
     def max_arity(self) -> int:
@@ -73,15 +103,23 @@ class DataCube:
     @property
     def cell_count(self) -> int:
         """Number of materialised cells."""
-        return len(self._cells)
+        return sum(len(cells) for cells in self._cells_by_columns.values())
+
+    def cell_index_sizes(self) -> dict[tuple[str, ...], int]:
+        """Number of cells per materialised column combination."""
+        return {columns: len(cells) for columns, cells in self._cells_by_columns.items()}
+
+    def has_combination(self, columns: tuple[str, ...]) -> bool:
+        """True when the column combination was materialised."""
+        return tuple(sorted(columns)) in self._cells_by_columns
 
     def cell(self, assignments: Mapping[str, Any]) -> _CubeCell | None:
         """The cell for ``assignments`` (None when empty or not materialised)."""
         columns = tuple(sorted(assignments))
-        if len(columns) > self._max_arity:
+        cells = self._cells_by_columns.get(columns)
+        if cells is None:
             return None
-        values = tuple(assignments[c] for c in columns)
-        return self._cells.get((columns, values))
+        return cells.get(tuple(assignments[c] for c in columns))
 
     def average(self, assignments: Mapping[str, Any]) -> tuple[float | None, int]:
         """Average target value and support for a dimension-value combination."""
@@ -90,12 +128,15 @@ class DataCube:
             return None, 0
         return cell.average, cell.count
 
-    def cells_for_columns(self, columns: tuple[str, ...]):
-        """Iterate (value tuple, cell) for one column combination."""
-        key_columns = tuple(sorted(columns))
-        for (cell_columns, values), cell in self._cells.items():
-            if cell_columns == key_columns:
-                yield values, cell
+    def cells_for_columns(
+        self, columns: tuple[str, ...]
+    ) -> Iterator[tuple[tuple[Any, ...], _CubeCell]]:
+        """Iterate (value tuple, cell) for one column combination.
+
+        Served from the per-combination index: O(cells in combination),
+        not O(total cells).
+        """
+        yield from self._cells_by_columns.get(tuple(sorted(columns)), {}).items()
 
 
 class CubeFactGenerator:
@@ -165,6 +206,13 @@ class CubeFactGenerator:
     ) -> list[Fact]:
         """Facts restricting the base columns plus exactly ``extra_columns``."""
         all_columns = tuple(sorted(tuple(base_assignments) + extra_columns))
+        if not self._cube.has_combination(all_columns):
+            # Silently serving a truncated fact set would be
+            # indistinguishable from "no data"; fail loudly instead.
+            raise ValueError(
+                f"data cube does not materialise column combination {all_columns}; "
+                "the base scope restricts more dimensions than max_base_dimensions"
+            )
         facts = []
         for values, cell in self._cube.cells_for_columns(all_columns):
             assignments = dict(zip(all_columns, values))

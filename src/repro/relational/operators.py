@@ -38,13 +38,18 @@ def project(
     """Π — keep only ``columns`` (optionally deduplicating rows)."""
     result = table.select_columns(list(columns))
     if distinct:
-        seen: set[tuple[Any, ...]] = set()
-        keep: list[int] = []
-        for i in range(result.num_rows):
-            key = tuple(result.value(i, c) for c in columns)
-            if key not in seen:
-                seen.add(key)
-                keep.append(i)
+        # Materialise each column's value list once and dedup row tuples
+        # in a single zip pass — the per-cell ``table.value`` accessor
+        # re-resolves the column on every call, which dominated profiles.
+        value_lists = [result.column(c).values for c in columns]
+        seen: dict[tuple[Any, ...], int] = {}
+        keep = [
+            i
+            for i, key in enumerate(zip(*value_lists))
+            if seen.setdefault(key, i) == i
+        ]
+        if not columns:
+            keep = [0] if result.num_rows else []
         result = result.take(keep)
     return result.renamed(name) if name else result
 
@@ -60,7 +65,11 @@ def extend(
 
     ``fn`` receives each row as a dict and returns the new value.
     """
-    values = [fn(row) for row in table.iter_rows()]
+    # Resolve every column's value list once; ``iter_rows`` re-resolves
+    # each column per row, which made this the planner's hot spot.
+    names = table.column_names
+    value_lists = [table.column(n).values for n in names]
+    values = [fn(dict(zip(names, row))) for row in zip(*value_lists)]
     result = table.with_column(Column(column_name, ctype, values))
     return result.renamed(name) if name else result
 

@@ -112,6 +112,10 @@ class VoiceQueryEngine:
         When True, comparison and extremum requests — which the paper's
         deployment logged as unsupported — are answered by the
         :mod:`repro.system.advanced` extension instead of an apology.
+    use_shared_cube:
+        When True, pre-processing serves candidate facts from one shared
+        data cube per target instead of re-aggregating each query's
+        subset; see :class:`repro.system.problem_generator.ProblemGenerator`.
     """
 
     def __init__(
@@ -125,12 +129,17 @@ class VoiceQueryEngine:
         dimension_synonyms: Mapping[str, tuple[str, object]] | None = None,
         realizer: SpeechRealizer | None = None,
         enable_advanced_queries: bool = False,
+        use_shared_cube: bool = False,
     ):
         self._config = config
         self._table = table
         self._realizer = realizer or SpeechRealizer()
         self._generator = ProblemGenerator(
-            config, table, prior=prior, expectation_model=expectation_model
+            config,
+            table,
+            prior=prior,
+            expectation_model=expectation_model,
+            use_shared_cube=use_shared_cube,
         )
         self._preprocessor = Preprocessor(config, summarizer=summarizer, realizer=self._realizer)
         self._parser = NaturalLanguageParser(

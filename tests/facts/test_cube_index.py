@@ -1,0 +1,140 @@
+"""Tests for the single-pass data cube build and its per-combination index.
+
+Covers the two perf-critical properties introduced with the cube rework:
+
+* ``cells_for_columns`` is served from a per-column-combination index
+  (its sizes must partition ``cell_count`` exactly), and
+* the cube-backed fact generator produces the same facts as the
+  per-query :class:`FactGenerator` on randomized relations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import Scope, SummarizationRelation
+from repro.facts.cube import CubeFactGenerator, DataCube
+from repro.facts.generation import FactGenerator
+from repro.relational.column import ColumnType
+from repro.relational.table import Table
+
+from tests.core.test_kernel import random_relation
+
+
+class TestCellIndex:
+    def test_index_sizes_partition_cell_count(self, example_relation):
+        cube = DataCube(example_relation, max_arity=2)
+        sizes = cube.cell_index_sizes()
+        assert sum(sizes.values()) == cube.cell_count
+        # One combination per arity-bounded column subset: (), (region,),
+        # (season,), (region, season).
+        assert set(sizes) == {(), ("region",), ("season",), ("region", "season")}
+        assert sizes[()] == 1
+        assert sizes[("region",)] == 4
+        assert sizes[("season",)] == 4
+        assert sizes[("region", "season")] == 16
+
+    def test_cells_for_columns_only_returns_requested_combination(self, example_relation):
+        cube = DataCube(example_relation, max_arity=2)
+        cells = list(cube.cells_for_columns(("region",)))
+        assert len(cells) == 4
+        values = {v for v, _ in cells}
+        assert values == {("East",), ("South",), ("West",), ("North",)}
+
+    def test_cells_for_columns_unsorted_input(self, example_relation):
+        cube = DataCube(example_relation, max_arity=2)
+        sorted_cells = dict(cube.cells_for_columns(("region", "season")))
+        unsorted_cells = dict(cube.cells_for_columns(("season", "region")))
+        assert sorted_cells == unsorted_cells
+
+    def test_unknown_combination_is_empty(self, example_relation):
+        cube = DataCube(example_relation, max_arity=1)
+        assert list(cube.cells_for_columns(("region", "season"))) == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cell_aggregates_match_relation_averages(self, seed):
+        relation = random_relation(seed)
+        cube = DataCube(relation, max_arity=2)
+        for columns in cube.cell_index_sizes():
+            for values, cell in cube.cells_for_columns(columns):
+                scope = Scope(dict(zip(columns, values)))
+                expected_avg, expected_support = relation.average_target(scope)
+                assert cell.count == expected_support
+                assert cell.average == pytest.approx(expected_avg, rel=1e-12)
+
+    def test_null_dimension_values_excluded(self):
+        table = Table.from_rows(
+            "with_nulls",
+            ["dim", "target"],
+            [ColumnType.CATEGORICAL, ColumnType.NUMERIC],
+            [("x", 1.0), (None, 2.0), ("x", 3.0), ("y", 4.0)],
+        )
+        relation = SummarizationRelation(table, ["dim"], "target")
+        cube = DataCube(relation, max_arity=1)
+        cells = dict(cube.cells_for_columns(("dim",)))
+        assert set(cells) == {("x",), ("y",)}
+        assert cells[("x",)].count == 2
+        assert cells[("x",)].average == pytest.approx(2.0)
+
+
+def _fact_signature(fact):
+    """Comparable form of a fact (values rounded to a stable precision)."""
+    return (tuple(fact.scope), round(fact.value, 9), fact.support)
+
+
+class TestCubeGeneratorParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_fact_generator_without_base_scope(self, seed):
+        relation = random_relation(seed)
+        per_query = FactGenerator(relation, max_extra_dimensions=2).generate()
+        from_cube = CubeFactGenerator(
+            relation, max_extra_dimensions=2, max_base_dimensions=0
+        ).generate()
+        assert {_fact_signature(f) for f in per_query.facts} == {
+            _fact_signature(f) for f in from_cube.facts
+        }
+        assert set(per_query.by_group) == set(from_cube.by_group)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_fact_generator_with_base_scope(self, seed):
+        """Cube facts for a query's base scope equal per-subset generation."""
+        full = random_relation(seed)
+        # Pick an actually-occurring base value for the first dimension.
+        base_value = full.dimension_domain("alpha")[0]
+        base = {"alpha": base_value}
+        mask = full.scope_mask(Scope(base))
+        subset = full.table.mask(list(mask))
+        subset_relation = SummarizationRelation(
+            subset, ["alpha", "beta", "gamma"], "target"
+        )
+        per_query = FactGenerator(subset_relation, max_extra_dimensions=2).generate(
+            base_scope=base
+        )
+        from_cube = CubeFactGenerator(
+            full, max_extra_dimensions=2, max_base_dimensions=1
+        ).generate(base_scope=base)
+        assert {_fact_signature(f) for f in per_query.facts} == {
+            _fact_signature(f) for f in from_cube.facts
+        }
+
+    def test_base_scope_wider_than_materialised_raises(self):
+        """A base scope beyond max_base_dimensions must fail loudly, not
+        silently serve a truncated fact set."""
+        relation = random_relation(0)
+        generator = CubeFactGenerator(
+            relation, max_extra_dimensions=1, max_base_dimensions=0
+        )
+        alpha = relation.dimension_domain("alpha")[0]
+        beta = relation.dimension_domain("beta")[0]
+        with pytest.raises(ValueError, match="does not materialise"):
+            generator.generate(base_scope={"alpha": alpha, "beta": beta})
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_min_support_respected(self, seed):
+        relation = random_relation(seed)
+        from_cube = CubeFactGenerator(
+            relation, max_extra_dimensions=2, max_base_dimensions=0, min_support=3
+        ).generate()
+        assert from_cube.facts, "expected some facts above the support threshold"
+        assert all(f.support >= 3 for f in from_cube.facts)

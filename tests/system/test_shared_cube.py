@@ -1,0 +1,55 @@
+"""Shared-cube pre-processing parity.
+
+With ``use_shared_cube=True`` the problem generator serves candidate
+facts from one data cube per target instead of re-aggregating each
+query's subset.  Both paths must yield speeches of identical utility for
+every pre-processed query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.config import SummarizationConfig
+from repro.system.engine import VoiceQueryEngine
+
+from tests.conftest import build_example_table
+
+
+def _build_engine(use_shared_cube: bool) -> VoiceQueryEngine:
+    config = SummarizationConfig.create(
+        table="flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=1,
+        max_facts_per_speech=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+    return VoiceQueryEngine(
+        config, build_example_table(), use_shared_cube=use_shared_cube
+    )
+
+
+class TestSharedCubePreprocessing:
+    def test_same_speech_utilities_as_per_query_generation(self):
+        baseline = _build_engine(use_shared_cube=False)
+        cubed = _build_engine(use_shared_cube=True)
+        report_baseline = baseline.preprocess()
+        report_cubed = cubed.preprocess()
+        assert report_cubed.speeches_generated == report_baseline.speeches_generated
+        assert report_cubed.queries_skipped == report_baseline.queries_skipped
+        assert report_cubed.total_utility == pytest.approx(
+            report_baseline.total_utility, rel=1e-9
+        )
+        assert report_cubed.total_scaled_utility == pytest.approx(
+            report_baseline.total_scaled_utility, rel=1e-9
+        )
+
+    def test_answers_match(self):
+        baseline = _build_engine(use_shared_cube=False)
+        cubed = _build_engine(use_shared_cube=True)
+        baseline.preprocess()
+        cubed.preprocess()
+        for question in ("what is the delay for Winter?", "what is the delay?"):
+            assert cubed.ask(question).text == baseline.ask(question).text
