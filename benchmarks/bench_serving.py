@@ -1,0 +1,175 @@
+"""Benchmark: run-time lookup throughput vs. speech-store size.
+
+Fills speech stores of increasing size with synthetic pre-generated
+speeches and measures ``best_match`` throughput (queries per second)
+for
+
+* the inverted-index lookup (production path: postings intersection
+  over the query's own predicates), and
+* the index-free linear scan over the target's bucket (the seed
+  implementation, kept as ``SpeechStore.linear_best_match``).
+
+The lookup workload mixes exact hits, containing-subset hits and
+misses.  The point of the plot is the scaling shape: the indexed path
+should stay ~flat as the store grows while the linear scan degrades
+linearly.  Results are emitted as JSON (stdout, and optionally a file);
+the run fails if the two paths ever disagree on a lookup.
+
+Usage::
+
+    python benchmarks/bench_serving.py             # full sweep
+    python benchmarks/bench_serving.py --quick     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from itertools import combinations, product
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.model import Fact, Scope, Speech  # noqa: E402
+from repro.system.queries import DataQuery  # noqa: E402
+from repro.system.speech_store import SpeechStore, StoredSpeech  # noqa: E402
+
+NUM_DIMENSIONS = 6
+VALUES_PER_DIMENSION = 14
+TARGET = "target"
+
+
+def _vocabulary() -> dict[str, list[str]]:
+    return {
+        f"dim{d}": [f"dim{d}_v{v}" for v in range(VALUES_PER_DIMENSION)]
+        for d in range(NUM_DIMENSIONS)
+    }
+
+
+def build_store(num_speeches: int, seed: int = 31) -> SpeechStore:
+    """A store with ``num_speeches`` speeches over stored lengths 0-3."""
+    vocabulary = _vocabulary()
+    dimensions = list(vocabulary)
+    keys: list[dict[str, str]] = [{}]
+    for length in (1, 2, 3):
+        for dims in combinations(dimensions, length):
+            for values in product(*(vocabulary[d] for d in dims)):
+                keys.append(dict(zip(dims, values)))
+    if num_speeches > len(keys):
+        raise SystemExit(
+            f"store size {num_speeches} exceeds the {len(keys)} enumerable keys"
+        )
+    rng = np.random.default_rng(seed)
+    rng.shuffle(keys)
+
+    store = SpeechStore()
+    for predicates in keys[:num_speeches]:
+        query = DataQuery.create(TARGET, predicates)
+        fact = Fact(scope=Scope(predicates), value=1.0, support=1)
+        store.add(
+            StoredSpeech(query=query, speech=Speech([fact]), text=query.describe())
+        )
+    return store
+
+
+def build_lookups(num_lookups: int, seed: int = 47) -> list[DataQuery]:
+    """Random run-time queries of length 0-3 over the same vocabulary."""
+    vocabulary = _vocabulary()
+    dimensions = list(vocabulary)
+    rng = np.random.default_rng(seed)
+    lookups = []
+    for _ in range(num_lookups):
+        length = int(rng.integers(0, 4))
+        dims = rng.choice(dimensions, size=length, replace=False)
+        predicates = {d: vocabulary[d][int(rng.integers(0, VALUES_PER_DIMENSION))] for d in dims}
+        lookups.append(DataQuery.create(TARGET, predicates))
+    return lookups
+
+
+def time_lookups(store: SpeechStore, lookups: list[DataQuery], indexed: bool) -> float:
+    lookup = store.best_match if indexed else store.linear_best_match
+    start = time.perf_counter()
+    for query in lookups:
+        lookup(query)
+    return time.perf_counter() - start
+
+
+def run(store_sizes: list[int], num_lookups: int) -> dict:
+    lookups = build_lookups(num_lookups)
+    results = []
+    agreement = True
+    for size in store_sizes:
+        store = build_store(size)
+        for query in lookups[: min(200, num_lookups)]:
+            indexed = store.best_match(query)
+            linear = store.linear_best_match(query)
+            if (indexed is None) != (linear is None) or (
+                indexed is not None
+                and (
+                    indexed.stored is not linear.stored
+                    or indexed.exact != linear.exact
+                    or indexed.overlap != linear.overlap
+                )
+            ):
+                agreement = False
+        indexed_seconds = time_lookups(store, lookups, indexed=True)
+        linear_seconds = time_lookups(store, lookups, indexed=False)
+        results.append(
+            {
+                "store_size": size,
+                "indexed_qps": num_lookups / indexed_seconds,
+                "linear_qps": num_lookups / linear_seconds,
+                "indexed_microseconds_per_lookup": indexed_seconds / num_lookups * 1e6,
+                "linear_microseconds_per_lookup": linear_seconds / num_lookups * 1e6,
+                "speedup": linear_seconds / indexed_seconds,
+            }
+        )
+    return {
+        "workload": {
+            "dimensions": NUM_DIMENSIONS,
+            "values_per_dimension": VALUES_PER_DIMENSION,
+            "lookups": num_lookups,
+        },
+        "sweep": results,
+        "paths_agree": agreement,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=[250, 1000, 4000, 16000],
+        help="store sizes to sweep",
+    )
+    parser.add_argument("--lookups", type=int, default=4000)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny sweep for CI smoke runs (sizes 100/400, 400 lookups)",
+    )
+    parser.add_argument("--output", default=None, help="also write the JSON to a file")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run(store_sizes=[100, 400], num_lookups=400)
+    else:
+        report = run(store_sizes=args.sizes, num_lookups=args.lookups)
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+
+    if not report["paths_agree"]:
+        print("ERROR: indexed best_match disagrees with the linear scan", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,14 @@ class Summarizer(abc.ABC):
     #: Short name used in experiment reports (e.g. "E", "G-B", "G-O").
     name: str = "abstract"
 
+    #: Whether repeated ``summarize`` calls are independent of call
+    #: order (no mutable state carried across problems).  Parallel
+    #: pre-processing relies on this: only deterministic summarizers
+    #: can be sharded across workers with output identical to a serial
+    #: run.  Algorithms drawing from a shared RNG stream must set this
+    #: to False.
+    deterministic: bool = True
+
     @abc.abstractmethod
     def _solve(self, problem: SummarizationProblem) -> tuple[Speech, SummarizerStatistics]:
         """Select a speech for ``problem``; return it plus work counters."""

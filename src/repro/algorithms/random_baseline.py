@@ -18,6 +18,10 @@ class RandomSummarizer(Summarizer):
     """Select ``max_facts`` candidate facts uniformly at random."""
 
     name = "RANDOM"
+    #: One RNG stream advances across calls, so results depend on the
+    #: order problems are solved in (parallel pre-processing runs this
+    #: summarizer serially to keep its output reproducible).
+    deterministic = False
 
     def __init__(self, seed: int | None = None):
         self._rng = random.Random(seed)

@@ -108,6 +108,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--max-problems", type=int, default=None, dest="max_problems")
     parser.add_argument(
+        "--workers", type=int, default=0,
+        help="pre-processing pool workers (0/1 = serial; N > 1 chunks the "
+        "queries across N processes, same store as a serial run)",
+    )
+    parser.add_argument(
         "--advanced", action="store_true",
         help="answer comparison/extremum questions via the extension",
     )
@@ -127,7 +132,7 @@ def command_datasets(_args: argparse.Namespace) -> int:
 def command_preprocess(args: argparse.Namespace) -> int:
     """Pre-generate speeches for a dataset and save them to JSON."""
     engine = _build_engine(args)
-    report = engine.preprocess(max_problems=args.max_problems)
+    report = engine.preprocess(max_problems=args.max_problems, workers=args.workers)
     print(
         f"generated {report.speeches_generated} speeches in {report.total_seconds:.2f}s "
         f"({report.per_query_seconds * 1000:.1f} ms per speech, "
@@ -146,7 +151,7 @@ def command_ask(args: argparse.Namespace) -> int:
         loaded = engine.load_speeches(args.store)
         print(f"loaded {loaded} pre-generated speeches from {args.store}")
     else:
-        engine.preprocess(max_problems=args.max_problems)
+        engine.preprocess(max_problems=args.max_problems, workers=args.workers)
     for question in args.question:
         response = engine.ask(question)
         print(f"user : {question}")

@@ -74,6 +74,12 @@ class FactGenerator:
     min_support:
         Minimal number of rows a fact's scope must cover; scopes with
         fewer rows are skipped (they describe noise, not signal).
+    vectorized:
+        When True (default), per-group fact enumeration runs on the
+        relation's cached dimension codes (one ``np.bincount`` over the
+        base-scope rows per group combination) instead of per-row Python
+        set membership.  Both paths produce identical facts; the Python
+        path is kept as the parity/benchmark reference.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class FactGenerator:
         relation: SummarizationRelation,
         max_extra_dimensions: int = 2,
         min_support: int = 1,
+        vectorized: bool = True,
     ):
         if max_extra_dimensions < 0:
             raise ValueError("max_extra_dimensions must be non-negative")
@@ -89,6 +96,7 @@ class FactGenerator:
         self._relation = relation
         self._max_extra = max_extra_dimensions
         self._min_support = min_support
+        self._vectorized = vectorized
 
     @property
     def relation(self) -> SummarizationRelation:
@@ -114,9 +122,15 @@ class FactGenerator:
         by_group: dict[FactGroup, list[Fact]] = {}
         target = self._relation.target_values
         base_indices = self._relation.scope_row_indices(base)
+        # The base-membership mask is shared by every group combination;
+        # only the vectorized path consumes it.
+        in_base = None
+        if self._vectorized:
+            in_base = np.zeros(self._relation.num_rows, dtype=bool)
+            in_base[base_indices] = True
 
         for group in groups:
-            members = self._facts_for_group(base, group, base_indices, target)
+            members = self._facts_for_group(base, group, base_indices, in_base, target)
             if members:
                 by_group[group] = members
                 facts.extend(members)
@@ -130,6 +144,7 @@ class FactGenerator:
         base: Scope,
         group: FactGroup,
         base_indices: np.ndarray,
+        in_base: np.ndarray | None,
         target: np.ndarray,
     ) -> list[Fact]:
         """Facts restricting exactly the dimensions of ``group`` (plus base)."""
@@ -141,8 +156,49 @@ class FactGenerator:
                 return []
             fact = Fact(scope=base, value=float(values.mean()), support=int(values.size))
             return [fact]
+        if not self._vectorized:
+            return self._facts_for_group_reference(base, group, base_indices, target)
 
-        # Group rows of the base subset by the group's dimension values.
+        # One bincount over the base-scope rows yields every group's
+        # support at once; only qualifying groups are materialized, each
+        # via an O(group size) slice of the cached grouped-row layout.
+        dims = list(group.dimensions)
+        inverse, keys = self._relation.grouping(dims)
+        order, offsets, _ = self._relation.group_segments(dims)
+        counts = np.bincount(inverse[base_indices], minlength=len(keys))
+
+        facts: list[Fact] = []
+        base_assignments = base.assignments
+        # Group ids follow first appearance in the data, so ascending id
+        # order reproduces the reference path's fact order exactly.
+        for g in np.nonzero(counts >= self._min_support)[0]:
+            key = keys[g]
+            if any(v is None for v in key):
+                continue
+            segment = order[offsets[g] : offsets[g + 1]]
+            members = (
+                segment if counts[g] == segment.size else segment[in_base[segment]]
+            )
+            assignments = dict(base_assignments)
+            assignments.update(zip(dims, key))
+            values = target[members]
+            facts.append(
+                Fact(
+                    scope=Scope(assignments),
+                    value=float(values.mean()),
+                    support=int(members.size),
+                )
+            )
+        return facts
+
+    def _facts_for_group_reference(
+        self,
+        base: Scope,
+        group: FactGroup,
+        base_indices: np.ndarray,
+        target: np.ndarray,
+    ) -> list[Fact]:
+        """Per-row Python reference enumeration (parity oracle / baseline)."""
         groups_by_value = self._relation.group_rows_by(list(group.dimensions))
         base_set = set(int(i) for i in base_indices)
         facts: list[Fact] = []

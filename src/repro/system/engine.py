@@ -198,10 +198,19 @@ class VoiceQueryEngine:
     # ------------------------------------------------------------------
     # Pre-processing
     # ------------------------------------------------------------------
-    def preprocess(self, max_problems: int | None = None) -> PreprocessingReport:
-        """Generate speeches for all queries up to the configured length."""
+    def preprocess(
+        self, max_problems: int | None = None, workers: int = 0
+    ) -> PreprocessingReport:
+        """Generate speeches for all queries up to the configured length.
+
+        ``workers`` > 1 runs the batch on a process pool; the resulting
+        store is identical to a serial run (see :class:`Preprocessor`).
+        """
         self._store, self._report = self._preprocessor.run(
-            self._generator, store=SpeechStore(), max_problems=max_problems
+            self._generator,
+            store=SpeechStore(),
+            max_problems=max_problems,
+            workers=workers,
         )
         return self._report
 

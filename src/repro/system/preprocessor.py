@@ -4,12 +4,27 @@ This is the "Speech Summarizer" box of Figure 2.  Pre-processing cost
 is the price paid for near-zero run-time latency (Figure 10): the
 deployment spends minutes in this loop and afterwards answers queries
 by a simple store lookup.
+
+The batch is embarrassingly parallel — each query's problem is built
+and solved independently — so :meth:`Preprocessor.run` optionally
+chunks the enumerated queries across a ``multiprocessing`` pool
+(``workers=N``).  Workers return realized speeches; the parent merges
+them back in enumeration order, so the resulting store (and its
+persisted JSON) is byte-identical to a serial run regardless of worker
+count or chunk scheduling.  Summarizers whose output depends on call
+order (``Summarizer.deterministic`` is False) are run serially even
+when workers are requested, so the guarantee holds for every
+algorithm.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.algorithms.base import Summarizer
 from repro.algorithms.registry import make_summarizer
@@ -38,6 +53,8 @@ class PreprocessingReport:
         Sums over all generated speeches (for averaging in reports).
     per_query_seconds:
         Average pre-processing time per stored speech.
+    workers:
+        Number of pool workers used (0 = serial in-process run).
     """
 
     speeches_generated: int = 0
@@ -49,6 +66,7 @@ class PreprocessingReport:
     algorithm: str = ""
     fact_evaluations: int = 0
     query_labels: list[str] = field(default_factory=list)
+    workers: int = 0
 
     @property
     def per_query_seconds(self) -> float:
@@ -63,6 +81,65 @@ class PreprocessingReport:
         if self.speeches_generated == 0:
             return 0.0
         return self.total_scaled_utility / self.speeches_generated
+
+
+# ----------------------------------------------------------------------
+# Pool worker plumbing
+# ----------------------------------------------------------------------
+#: Per-worker state set by the pool initializer: (generator, summarizer,
+#: realizer).  A module global because pool tasks may only reference
+#: module-level callables.
+_WORKER_STATE: tuple[ProblemGenerator, Summarizer, SpeechRealizer] | None = None
+
+
+def _init_worker(
+    generator: ProblemGenerator, summarizer: Summarizer, realizer: SpeechRealizer
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (generator, summarizer, realizer)
+
+
+def _solve_query(
+    generator: ProblemGenerator,
+    summarizer: Summarizer,
+    realizer: SpeechRealizer,
+    query: DataQuery,
+) -> tuple[StoredSpeech, int] | None:
+    """Solve one query end to end; None marks a skipped (too small) query.
+
+    Both the serial loop and the pool workers go through this single
+    function, so the two execution strategies cannot drift apart.
+    """
+    problem = generator.build_problem(query)
+    if problem is None:
+        return None
+    result = summarizer.summarize(problem)
+    text = realizer.realize(query, result.speech)
+    return (
+        StoredSpeech(
+            query=query,
+            speech=result.speech,
+            text=text,
+            utility=result.utility,
+            scaled_utility=result.scaled_utility,
+            algorithm=result.algorithm,
+        ),
+        result.statistics.fact_evaluations,
+    )
+
+
+def _solve_chunk(
+    chunk: list[DataQuery],
+) -> list[tuple[StoredSpeech, int] | None]:
+    """Solve one chunk of queries in a pool worker."""
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    generator, summarizer, realizer = _WORKER_STATE
+    return [_solve_query(generator, summarizer, realizer, query) for query in chunk]
+
+
+def _chunked(items: list, size: int) -> Iterator[list]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
 
 
 class Preprocessor:
@@ -99,46 +176,151 @@ class Preprocessor:
         generator: ProblemGenerator,
         store: SpeechStore | None = None,
         max_problems: int | None = None,
+        workers: int = 0,
+        chunk_size: int | None = None,
     ) -> tuple[SpeechStore, PreprocessingReport]:
         """Solve all generated problems and store the resulting speeches.
 
         ``max_problems`` caps the number of solved problems (useful for
-        tests and scaled-down experiments).
+        tests and scaled-down experiments).  ``workers`` > 1 distributes
+        query chunks across a process pool; the merged store is
+        byte-identical to the serial result (``workers`` 0 or 1).
+        Summarizers that carry state across problems (``deterministic``
+        False, e.g. the RANDOM baseline) cannot be sharded without
+        changing their output, so they run serially with a warning.
+        ``chunk_size`` overrides the pool task granularity.
         """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if workers and workers > 1 and not self._summarizer.deterministic:
+            warnings.warn(
+                f"summarizer {self._summarizer.name!r} carries state across "
+                "problems; running serially to keep its output reproducible",
+                stacklevel=2,
+            )
+            workers = 0
         store = store if store is not None else SpeechStore()
-        report = PreprocessingReport(algorithm=self._summarizer.name)
+        # workers <= 1 takes the serial path; the report records how the
+        # run actually executed (0 = serial, per the field docstring).
+        effective_workers = int(workers) if workers and workers > 1 else 0
+        report = PreprocessingReport(
+            algorithm=self._summarizer.name, workers=effective_workers
+        )
         start = time.perf_counter()
+        if effective_workers:
+            outcomes = self._parallel_outcomes(
+                generator, effective_workers, chunk_size, max_problems
+            )
+        else:
+            outcomes = self._serial_outcomes(generator, max_problems)
+        self._merge(outcomes, store, report, max_problems)
+        report.total_seconds = time.perf_counter() - start
+        return store, report
 
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _serial_outcomes(
+        self,
+        generator: ProblemGenerator,
+        max_problems: int | None,
+    ) -> Iterator[tuple[StoredSpeech, int] | None]:
+        """Per-query outcomes, solved lazily in the calling process.
+
+        Queries beyond the ``max_problems`` cap are never built (the
+        merge step stops storing once the cap is hit, so yielding None
+        for them keeps the accounting identical at zero cost).
+        """
         solved = 0
         for query in generator.enumerate_queries():
+            if max_problems is not None and solved >= max_problems:
+                yield None
+                continue
+            outcome = _solve_query(generator, self._summarizer, self._realizer, query)
+            if outcome is not None:
+                solved += 1
+            yield outcome
+
+    def _parallel_outcomes(
+        self,
+        generator: ProblemGenerator,
+        workers: int,
+        chunk_size: int | None,
+        max_problems: int | None,
+    ) -> Iterator[tuple[StoredSpeech, int] | None]:
+        """Per-query outcomes computed by a worker pool, in query order.
+
+        Chunks are submitted with bounded look-ahead (at most two per
+        worker in flight) and collected first-in-first-out, so
+        flattening the results reproduces the exact enumeration order
+        no matter which worker solved which chunk — and once
+        ``max_problems`` speeches have been produced no further chunks
+        are dispatched (the pool is torn down; chunks already in flight
+        may finish unobserved).  The remaining queries are reported as
+        bare None outcomes, which the merge step only counts, mirroring
+        the serial path's cap behavior.
+        """
+        queries = list(generator.enumerate_queries())
+        if not queries:
+            return
+        if chunk_size is None:
+            # ~4 tasks per worker balances scheduling slack against
+            # per-task pickling overhead.
+            chunk_size = max(1, -(-len(queries) // (workers * 4)))
+        chunk_iterator = _chunked(queries, chunk_size)
+        pending: deque = deque()
+        yielded = 0
+        solved = 0
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(generator, self._summarizer, self._realizer),
+        ) as pool:
+
+            def submit_next() -> None:
+                chunk = next(chunk_iterator, None)
+                if chunk is not None:
+                    pending.append(pool.apply_async(_solve_chunk, (chunk,)))
+
+            for _ in range(workers * 2):
+                submit_next()
+            while pending:
+                chunk_result = pending.popleft().get()
+                for outcome in chunk_result:
+                    yield outcome
+                    yielded += 1
+                    if outcome is not None:
+                        solved += 1
+                if max_problems is not None and solved >= max_problems:
+                    break
+                submit_next()
+        for _ in range(len(queries) - yielded):
+            yield None
+
+    def _merge(
+        self,
+        outcomes: Iterable[tuple[StoredSpeech, int] | None],
+        store: SpeechStore,
+        report: PreprocessingReport,
+        max_problems: int | None,
+    ) -> None:
+        """Fold per-query outcomes (in enumeration order) into the store."""
+        solved = 0
+        for outcome in outcomes:
             report.queries_considered += 1
             if max_problems is not None and solved >= max_problems:
                 continue
-            problem = generator.build_problem(query)
-            if problem is None:
+            if outcome is None:
                 report.queries_skipped += 1
                 continue
-            result = self._summarizer.summarize(problem)
-            text = self._realizer.realize(query, result.speech)
-            store.add(
-                StoredSpeech(
-                    query=query,
-                    speech=result.speech,
-                    text=text,
-                    utility=result.utility,
-                    scaled_utility=result.scaled_utility,
-                    algorithm=result.algorithm,
-                )
-            )
+            stored, fact_evaluations = outcome
+            store.add(stored)
             solved += 1
             report.speeches_generated += 1
-            report.total_utility += result.utility
-            report.total_scaled_utility += result.scaled_utility
-            report.fact_evaluations += result.statistics.fact_evaluations
-            report.query_labels.append(query.describe())
-
-        report.total_seconds = time.perf_counter() - start
-        return store, report
+            report.total_utility += stored.utility
+            report.total_scaled_utility += stored.scaled_utility
+            report.fact_evaluations += fact_evaluations
+            report.query_labels.append(stored.query.describe())
 
     @staticmethod
     def lookup_query(store: SpeechStore, query: DataQuery):

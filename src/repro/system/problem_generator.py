@@ -91,6 +91,18 @@ class ProblemGenerator:
         """The generator's configuration."""
         return self._config
 
+    def __getstate__(self) -> dict:
+        """Drop per-process caches when pickling (e.g. into pool workers).
+
+        The cube and prior caches hold numpy-heavy derived state that
+        every worker can rebuild lazily from the table; shipping them
+        would dominate the pool start-up payload.
+        """
+        state = self.__dict__.copy()
+        state["_prior_cache"] = {}
+        state["_cube_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Query enumeration
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ number of predicates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.core.model import Scope
@@ -29,16 +30,46 @@ class DataQuery:
     target: str
     predicates: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
 
+    def __post_init__(self) -> None:
+        # Canonicalize: predicates are always sorted by column, even when
+        # the dataclass is constructed directly — key() equality and the
+        # store's subset-key probes depend on one canonical order.
+        object.__setattr__(
+            self,
+            "predicates",
+            tuple(sorted(self.predicates, key=lambda item: item[0])),
+        )
+
     @staticmethod
     def create(target: str, predicates: Mapping[str, Any] | None = None) -> "DataQuery":
         """Build a query from a predicate mapping."""
-        items = tuple(sorted((predicates or {}).items()))
-        return DataQuery(target=target, predicates=items)
+        return DataQuery(target=target, predicates=tuple((predicates or {}).items()))
 
     @property
-    def predicate_map(self) -> dict[str, Any]:
-        """Predicates as a dict."""
-        return dict(self.predicates)
+    def predicate_map(self) -> Mapping[str, Any]:
+        """Predicates as a read-only mapping (cached).
+
+        The map is materialized once per query instance: lookups hit it
+        in inner loops (``is_refinement_of`` during store matching), so
+        rebuilding a dict per call would dominate those paths.  The
+        mapping proxy keeps the cache immutable to callers; it lives
+        outside the frozen dataclass fields and does not affect
+        equality, hashing or pickling (see ``__getstate__``).
+        """
+        cached = self.__dict__.get("_predicate_map")
+        if cached is None:
+            cached = MappingProxyType(dict(self.predicates))
+            object.__setattr__(self, "_predicate_map", cached)
+        return cached
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The cached mapping proxy is not picklable (and is rebuilt on
+        # demand), so only the dataclass fields travel.
+        return {"target": self.target, "predicates": self.predicates}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "target", state["target"])
+        object.__setattr__(self, "predicates", state["predicates"])
 
     @property
     def length(self) -> int:

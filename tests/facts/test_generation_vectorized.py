@@ -1,0 +1,82 @@
+"""Parity tests: vectorized fact enumeration vs. the per-row reference.
+
+`FactGenerator(vectorized=True)` replaces per-row Python set membership
+with bincount/segment operations on the relation's cached dimension
+codes.  It is an execution strategy, not a model change: facts must
+match the reference path exactly — same order, same scopes, bitwise
+identical values — across NULL dimension values, min_support filters
+and arbitrary base scopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import SummarizationRelation
+from repro.facts.generation import FactGenerator
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+
+def random_relation(rng: np.random.Generator) -> SummarizationRelation:
+    num_rows = int(rng.integers(5, 120))
+    dimensions = ["a", "b", "c"][: int(rng.integers(1, 4))]
+    columns = []
+    for dim in dimensions:
+        values = [
+            None if rng.random() < 0.08 else f"{dim}{int(v)}"
+            for v in rng.integers(0, 5, size=num_rows)
+        ]
+        columns.append(Column.categorical(dim, values))
+    columns.append(Column.numeric("t", rng.normal(0.0, 10.0, size=num_rows)))
+    return SummarizationRelation(Table("rand", columns), dimensions, "t")
+
+
+def assert_identical_facts(generated, reference):
+    assert len(generated.facts) == len(reference.facts)
+    for fact, expected in zip(generated.facts, reference.facts):
+        assert fact.scope == expected.scope
+        assert fact.support == expected.support
+        assert fact.value == expected.value  # bitwise, not approx
+
+
+class TestVectorizedParity:
+    def test_example_relation_matches_reference(self, example_relation):
+        generated = FactGenerator(example_relation, max_extra_dimensions=2).generate()
+        reference = FactGenerator(
+            example_relation, max_extra_dimensions=2, vectorized=False
+        ).generate()
+        assert_identical_facts(generated, reference)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_relations_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        relation = random_relation(rng)
+        min_support = int(rng.integers(1, 4))
+        base = {}
+        if rng.random() < 0.5:
+            dim = relation.dimensions[0]
+            domain = relation.dimension_domain(dim)
+            if domain:
+                base[dim] = domain[0]
+        kwargs = {"max_extra_dimensions": 2, "min_support": min_support}
+        generated = FactGenerator(relation, **kwargs).generate(base_scope=base)
+        reference = FactGenerator(relation, vectorized=False, **kwargs).generate(
+            base_scope=base
+        )
+        assert_identical_facts(generated, reference)
+
+    def test_base_scope_value_absent_from_data(self, example_relation):
+        for vectorized in (True, False):
+            generated = FactGenerator(
+                example_relation, vectorized=vectorized
+            ).generate(base_scope={"region": "Atlantis"})
+            assert generated.count == 0
+
+    def test_min_support_filters_identically(self, example_relation):
+        kwargs = {"max_extra_dimensions": 2, "min_support": 2}
+        generated = FactGenerator(example_relation, **kwargs).generate()
+        reference = FactGenerator(example_relation, vectorized=False, **kwargs).generate()
+        assert_identical_facts(generated, reference)
+        assert generated.count == 9

@@ -1,0 +1,112 @@
+"""Parity tests: parallel pre-processing must equal the serial batch.
+
+The pool path chunks queries across worker processes and merges results
+back in enumeration order, so the store — and its persisted JSON — must
+be byte-identical to a serial run for any worker count, chunk size, or
+``max_problems`` cap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.system.config import SummarizationConfig
+from repro.system.persistence import store_to_dict
+from repro.system.preprocessor import Preprocessor
+from repro.system.problem_generator import ProblemGenerator
+
+
+@pytest.fixture()
+def config() -> SummarizationConfig:
+    return SummarizationConfig.create(
+        "flight_delays",
+        dimensions=("region", "season"),
+        targets=("delay",),
+        max_query_length=2,
+        max_facts_per_speech=2,
+        max_fact_dimensions=1,
+        algorithm="G-B",
+    )
+
+
+def run_with_workers(config, table, workers, **kwargs):
+    generator = ProblemGenerator(config, table)
+    return Preprocessor(config).run(generator, workers=workers, **kwargs)
+
+
+def store_bytes(store, config) -> str:
+    """The persistence serialisation, as `save_store` would write it."""
+    return json.dumps(store_to_dict(store, config), indent=2, sort_keys=True)
+
+
+def report_fields(report) -> dict:
+    """Report as a dict without the timing- and pool-dependent fields."""
+    fields = dataclasses.asdict(report)
+    fields.pop("total_seconds")
+    fields.pop("workers")
+    return fields
+
+
+class TestParallelParity:
+    def test_worker_counts_produce_identical_stores_and_reports(self, config, example_table):
+        serial_store, serial_report = run_with_workers(config, example_table, workers=0)
+        expected = store_bytes(serial_store, config)
+        assert serial_report.workers == 0
+        for workers in (1, 2, 4):
+            store, report = run_with_workers(config, example_table, workers=workers)
+            assert store_bytes(store, config) == expected, f"workers={workers}"
+            assert report_fields(report) == report_fields(serial_report)
+            # workers=1 executes serially, and the report records that.
+            assert report.workers == (workers if workers > 1 else 0)
+
+    def test_chunk_size_does_not_affect_the_store(self, config, example_table):
+        serial_store, _ = run_with_workers(config, example_table, workers=0)
+        expected = store_bytes(serial_store, config)
+        for chunk_size in (1, 3, 100):
+            store, _ = run_with_workers(
+                config, example_table, workers=2, chunk_size=chunk_size
+            )
+            assert store_bytes(store, config) == expected, f"chunk_size={chunk_size}"
+
+    def test_invalid_chunk_size_rejected(self, config, example_table):
+        for chunk_size in (0, -1):
+            with pytest.raises(ValueError, match="chunk_size"):
+                run_with_workers(
+                    config, example_table, workers=2, chunk_size=chunk_size
+                )
+
+    def test_max_problems_cap_matches_serial(self, config, example_table):
+        serial_store, serial_report = run_with_workers(
+            config, example_table, workers=0, max_problems=4
+        )
+        store, report = run_with_workers(
+            config, example_table, workers=2, max_problems=4
+        )
+        assert store_bytes(store, config) == store_bytes(serial_store, config)
+        assert report_fields(report) == report_fields(serial_report)
+        assert report.speeches_generated == 4
+
+    def test_parallel_run_time_fields_populated(self, config, example_table):
+        _, report = run_with_workers(config, example_table, workers=2)
+        assert report.total_seconds > 0
+        assert report.per_query_seconds > 0
+        assert 0 < report.average_scaled_utility <= 1.0
+
+    def test_stateful_summarizer_falls_back_to_serial(self, config, example_table):
+        from repro.algorithms.random_baseline import RandomSummarizer
+
+        def run_random(workers):
+            generator = ProblemGenerator(config, example_table)
+            preprocessor = Preprocessor(config, summarizer=RandomSummarizer(seed=42))
+            return preprocessor.run(generator, workers=workers)
+
+        serial_store, _ = run_random(workers=0)
+        with pytest.warns(UserWarning, match="carries state"):
+            store, report = run_random(workers=2)
+        # The pool would shard the RNG stream; serial fallback keeps the
+        # byte-identity guarantee for every algorithm.
+        assert report.workers == 0
+        assert store_bytes(store, config) == store_bytes(serial_store, config)

@@ -49,3 +49,28 @@ class TestDataQuery:
         query = DataQuery.create("delay", {"region": "East"})
         assert "region=East" in query.describe()
         assert query.describe().startswith("delay")
+
+    def test_direct_construction_canonicalizes_predicate_order(self):
+        direct = DataQuery("delay", (("season", "Winter"), ("region", "East")))
+        created = DataQuery.create("delay", {"region": "East", "season": "Winter"})
+        assert direct.predicates == (("region", "East"), ("season", "Winter"))
+        assert direct == created
+        assert direct.key() == created.key()
+
+    def test_predicate_map_is_cached(self):
+        query = DataQuery.create("delay", {"region": "East", "season": "Winter"})
+        first = query.predicate_map
+        assert query.predicate_map is first
+        assert first == {"region": "East", "season": "Winter"}
+
+    def test_cached_predicate_map_does_not_affect_equality_or_pickling(self):
+        import pickle
+
+        a = DataQuery.create("delay", {"region": "East"})
+        b = DataQuery.create("delay", {"region": "East"})
+        _ = a.predicate_map  # populate only a's cache
+        assert a == b
+        assert hash(a) == hash(b)
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored == a
+        assert restored.predicate_map == a.predicate_map

@@ -52,6 +52,22 @@ class TestCommands:
         assert "generated 5 speeches" in output
         assert str(store_path) in output
 
+    def test_preprocess_with_workers_matches_serial(self, capsys, tmp_path):
+        common = [
+            "preprocess",
+            "--dataset", "flights",
+            "--rows", "200",
+            "--dimensions", "origin_region", "season",
+            "--targets", "cancellation",
+            "--algorithm", "G-B",
+        ]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(common + ["--output", str(serial_path)]) == 0
+        assert main(common + ["--workers", "2", "--output", str(parallel_path)]) == 0
+        capsys.readouterr()
+        assert serial_path.read_text() == parallel_path.read_text()
+
     def test_ask_answers_questions(self, capsys):
         code = main(
             [
