@@ -42,7 +42,7 @@ from repro.core.model import SummarizationRelation  # noqa: E402
 from repro.core.problem import SummarizationProblem  # noqa: E402
 from repro.facts.cube import CubeFactGenerator  # noqa: E402
 from repro.facts.generation import FactGenerator  # noqa: E402
-from repro.relational.column import Column, ColumnType  # noqa: E402
+from repro.relational.column import Column  # noqa: E402
 from repro.relational.table import Table  # noqa: E402
 
 

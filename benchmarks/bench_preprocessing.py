@@ -38,7 +38,7 @@ if str(_SRC) not in sys.path:
 
 from repro.core.model import SummarizationRelation  # noqa: E402
 from repro.facts.generation import FactGenerator  # noqa: E402
-from repro.relational.column import Column, ColumnType  # noqa: E402
+from repro.relational.column import Column  # noqa: E402
 from repro.relational.table import Table  # noqa: E402
 from repro.system.config import SummarizationConfig  # noqa: E402
 from repro.system.persistence import store_to_dict  # noqa: E402

@@ -1,0 +1,161 @@
+"""CI benchmark regression guard.
+
+Re-runs every benchmark's ``--quick`` smoke and compares its throughput
+metrics against the committed baselines in ``benchmarks/results/quick/``.
+A metric that drops more than ``--tolerance`` (default 30%) below its
+baseline fails the check, and any smoke whose own self-verification
+exits non-zero (store/speech divergence) fails immediately.
+
+Only *ratio* metrics are gated — speedups of one code path over another
+measured in the same process — because they are comparatively stable
+across machines, unlike absolute wall-clock numbers, which differ
+between the container that committed the baselines and whatever runner
+CI lands on.  Non-gated context numbers (absolute seconds, the
+pool-reuse amortisation, which depends on core count) are still
+captured in the fresh JSON written to ``--fresh-dir`` for the workflow
+to upload as artifacts.
+
+Usage::
+
+    python benchmarks/check_regression.py                  # gate CI
+    python benchmarks/check_regression.py --tolerance 0.5
+    python benchmarks/check_regression.py --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_DIR = BENCH_DIR / "results" / "quick"
+
+#: Gated throughput metrics per benchmark: dotted paths into the quick
+#: JSON (integer segments index into lists).  All are same-process
+#: speedup ratios.  A metric may widen the default ``--tolerance`` when
+#: its quick measurement is short enough (milliseconds) that scheduler
+#: noise on a shared runner moves the ratio; the floor still catches a
+#: real regression, which collapses such ratios toward 1.
+SPECS: list[dict] = [
+    {
+        "name": "optimizer_kernels",
+        "metrics": [
+            {"path": "greedy_kernel.speedup_vs_reference"},
+            {"path": "lazy_greedy.speedup_vs_reference"},
+        ],
+    },
+    {
+        "name": "preprocessing",
+        "metrics": [{"path": "fact_generation.speedup"}],
+    },
+    {
+        "name": "serving",
+        "metrics": [
+            {"path": "sweep.0.speedup", "tolerance": 0.5},
+            {"path": "sweep.1.speedup", "tolerance": 0.5},
+        ],
+    },
+    {
+        "name": "incremental",
+        "metrics": [{"path": "discovery.speedup", "tolerance": 0.5}],
+    },
+]
+
+
+def metric_value(payload: dict, path: str) -> float:
+    node = payload
+    for segment in path.split("."):
+        node = node[int(segment)] if segment.isdigit() else node[segment]
+    return float(node)
+
+
+def run_quick(name: str, output: Path) -> bool:
+    """Run one benchmark's --quick smoke; False on self-check failure."""
+    script = BENCH_DIR / f"bench_{name}.py"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    result = subprocess.run(
+        [sys.executable, str(script), "--quick", "--output", str(output)],
+        stdout=subprocess.DEVNULL,
+    )
+    return result.returncode == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=str(BENCH_DIR / "results" / "ci"),
+        help="directory for the freshly measured quick JSON",
+    )
+    parser.add_argument("--only", default=None, help="run a single benchmark by name")
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the committed baselines from this machine's run",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_dir = Path(args.fresh_dir)
+    if args.update_baselines:
+        fresh_dir = BASELINE_DIR
+    known = [spec["name"] for spec in SPECS]
+    if args.only is not None and args.only not in known:
+        print(f"unknown benchmark {args.only!r}; known: {', '.join(known)}", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for spec in SPECS:
+        name = spec["name"]
+        if args.only is not None and name != args.only:
+            continue
+        fresh_path = fresh_dir / f"{name}.json"
+        if not run_quick(name, fresh_path):
+            failures.append(f"{name}: --quick smoke failed its self-verification")
+            continue
+        if args.update_baselines:
+            print(f"{name}: baseline rewritten at {fresh_path}")
+            continue
+        baseline_path = BASELINE_DIR / f"{name}.json"
+        if not baseline_path.exists():
+            failures.append(f"{name}: no committed baseline at {baseline_path}")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        for metric in spec["metrics"]:
+            path = metric["path"]
+            tolerance = max(args.tolerance, metric.get("tolerance", 0.0))
+            expected = metric_value(baseline, path)
+            measured = metric_value(fresh, path)
+            floor = expected * (1.0 - tolerance)
+            status = "ok" if measured >= floor else "REGRESSION"
+            line = (
+                f"{name}.{path}: baseline {expected:.2f}, measured "
+                f"{measured:.2f}, floor {floor:.2f} -> {status}"
+            )
+            print(line)
+            if measured < floor:
+                detail = (
+                    f"{name}.{path}: {measured:.2f} < {floor:.2f} "
+                    f"(baseline {expected:.2f} - {tolerance:.0%})"
+                )
+                failures.append(detail)
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if not args.update_baselines:
+        print("\nbenchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

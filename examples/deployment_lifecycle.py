@@ -18,7 +18,7 @@ import tempfile
 from pathlib import Path
 
 from repro.datasets import load_dataset
-from repro.relational import ColumnType, Table
+from repro.relational import Table
 from repro.system import (
     IncrementalMaintainer,
     SummarizationConfig,

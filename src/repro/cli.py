@@ -9,14 +9,24 @@ The CLI exposes the three workflows a user of the system goes through:
 * ``repro-voice ask`` — answer one or more natural-language questions
   against a dataset (pre-processing on the fly or from a saved
   artifact);
+* ``repro-voice maintain`` — simulate an append-only data update:
+  pre-process a base slice of a dataset, append the held-out rows, and
+  incrementally refresh only the affected speeches;
 * ``repro-voice experiment`` — regenerate one of the paper's tables or
   figures and print its rows.
+
+Parallel commands accept ``--pool keep`` to run every pre-processing
+and maintenance pass of one invocation on a single persistent worker
+pool (the streaming service layer), versus the default ``fresh`` pool
+per run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 from typing import Callable, Sequence
 
 from repro.algorithms.registry import available_summarizers
@@ -24,7 +34,8 @@ from repro.datasets import available_datasets, dataset_overview, load_dataset
 from repro.experiments.runner import ExperimentResult, format_rows
 from repro.system.config import SummarizationConfig
 from repro.system.engine import VoiceQueryEngine
-from repro.system.persistence import save_store
+from repro.system.persistence import save_store, store_to_dict
+from repro.system.worker_pool import WorkerPool
 
 
 def _experiment_registry() -> dict[str, Callable[[], ExperimentResult]]:
@@ -68,12 +79,10 @@ def _experiment_registry() -> dict[str, Callable[[], ExperimentResult]]:
     }
 
 
-def _build_engine(args: argparse.Namespace) -> VoiceQueryEngine:
-    dataset = load_dataset(args.dataset, num_rows=args.rows)
-    spec = dataset.spec
+def _build_config(args: argparse.Namespace, spec) -> SummarizationConfig:
     dimensions = tuple(args.dimensions) if args.dimensions else spec.dimensions
     targets = tuple(args.targets) if args.targets else spec.targets
-    config = SummarizationConfig.create(
+    return SummarizationConfig.create(
         table=spec.key,
         dimensions=dimensions,
         targets=targets,
@@ -82,12 +91,30 @@ def _build_engine(args: argparse.Namespace) -> VoiceQueryEngine:
         max_fact_dimensions=args.fact_dimensions,
         algorithm=args.algorithm,
     )
+
+
+def _build_engine(args: argparse.Namespace) -> VoiceQueryEngine:
+    dataset = load_dataset(args.dataset, num_rows=args.rows)
+    config = _build_config(args, dataset.spec)
     return VoiceQueryEngine(
         config,
         dataset.table,
         enable_advanced_queries=args.advanced,
         use_shared_cube=args.shared_cube,
     )
+
+
+def _pool_scope(args: argparse.Namespace):
+    """Context manager for the command's worker pool (``--pool``).
+
+    Under ``keep`` (with ``--workers`` > 1) it yields one persistent
+    :class:`WorkerPool` closed when the command finishes, so every
+    pre-processing and maintenance pass of the invocation shares it;
+    otherwise it yields None and each run forks and reaps its own pool.
+    """
+    if args.pool == "keep" and args.workers and args.workers > 1:
+        return WorkerPool(args.workers)
+    return nullcontext()
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -109,8 +136,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-problems", type=int, default=None, dest="max_problems")
     parser.add_argument(
         "--workers", type=int, default=0,
-        help="pre-processing pool workers (0/1 = serial; N > 1 chunks the "
-        "queries across N processes, same store as a serial run)",
+        help="pre-processing pool workers (0/1 = serial; N > 1 streams "
+        "query chunks across N processes, same store as a serial run)",
+    )
+    parser.add_argument(
+        "--pool", choices=("fresh", "keep"), default="fresh",
+        help="worker-pool lifecycle: 'fresh' forks a pool per run, 'keep' "
+        "spawns one persistent pool reused by every pre-processing and "
+        "maintenance pass of this invocation",
     )
     parser.add_argument(
         "--advanced", action="store_true",
@@ -132,7 +165,10 @@ def command_datasets(_args: argparse.Namespace) -> int:
 def command_preprocess(args: argparse.Namespace) -> int:
     """Pre-generate speeches for a dataset and save them to JSON."""
     engine = _build_engine(args)
-    report = engine.preprocess(max_problems=args.max_problems, workers=args.workers)
+    with _pool_scope(args) as pool:
+        report = engine.preprocess(
+            max_problems=args.max_problems, workers=args.workers, pool=pool
+        )
     print(
         f"generated {report.speeches_generated} speeches in {report.total_seconds:.2f}s "
         f"({report.per_query_seconds * 1000:.1f} ms per speech, "
@@ -151,11 +187,77 @@ def command_ask(args: argparse.Namespace) -> int:
         loaded = engine.load_speeches(args.store)
         print(f"loaded {loaded} pre-generated speeches from {args.store}")
     else:
-        engine.preprocess(max_problems=args.max_problems, workers=args.workers)
+        with _pool_scope(args) as pool:
+            engine.preprocess(
+                max_problems=args.max_problems, workers=args.workers, pool=pool
+            )
     for question in args.question:
         response = engine.ask(question)
         print(f"user : {question}")
         print(f"voice: {response.text}")
+    return 0
+
+
+def command_maintain(args: argparse.Namespace) -> int:
+    """Pre-process a base slice, append held-out rows, refresh the store.
+
+    The dataset's last ``--append-rows`` rows are held out as the
+    simulated update batch.  With ``--verify-serial`` the whole pass is
+    repeated serially from scratch and the rebuilt counts and store
+    payloads must match exactly — the CI smoke for parallel incremental
+    maintenance.
+    """
+    from repro.system.preprocessor import Preprocessor
+    from repro.system.problem_generator import ProblemGenerator
+    from repro.system.updates import IncrementalMaintainer
+
+    dataset = load_dataset(args.dataset, num_rows=args.rows)
+    config = _build_config(args, dataset.spec)
+    table = dataset.table
+    held_out = max(1, min(args.append_rows, table.num_rows - 2))
+    base_count = table.num_rows - held_out
+    base_table = table.mask([i < base_count for i in range(table.num_rows)])
+    new_rows = table.mask([i >= base_count for i in range(table.num_rows)])
+
+    def run_pass(workers: int, pool: WorkerPool | None):
+        store, _ = Preprocessor(config).run(
+            ProblemGenerator(config, base_table), workers=workers, pool=pool
+        )
+        maintainer = IncrementalMaintainer(config, base_table)
+        report = maintainer.maintain(new_rows, store, workers=workers, pool=pool)
+        return store, report
+
+    with _pool_scope(args) as pool:
+        store, report = run_pass(args.workers, pool)
+    print(
+        f"appended {report.new_rows} rows: {report.affected_queries} queries "
+        f"affected, {report.rebuilt_speeches} speeches rebuilt, "
+        f"{report.unchanged_speeches} untouched in {report.total_seconds:.2f}s "
+        f"(workers={report.workers}, pool={args.pool})"
+    )
+    if args.output:
+        save_store(store, args.output, config)
+        print(f"maintained speech store written to {args.output}")
+    if args.verify_serial:
+        serial_store, serial_report = run_pass(0, None)
+        payload = json.dumps(store_to_dict(store), sort_keys=True)
+        serial_payload = json.dumps(store_to_dict(serial_store), sort_keys=True)
+        if (
+            report.rebuilt_speeches != serial_report.rebuilt_speeches
+            or report.affected_queries != serial_report.affected_queries
+            or payload != serial_payload
+        ):
+            print(
+                "ERROR: parallel maintenance diverged from the serial pass "
+                f"(rebuilt {report.rebuilt_speeches} vs "
+                f"{serial_report.rebuilt_speeches})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serial parity verified: {serial_report.rebuilt_speeches} speeches "
+            "rebuilt, identical store payloads"
+        )
     return 0
 
 
@@ -193,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
     ask_parser.add_argument("--store", default=None, help="load speeches from a JSON artifact")
     ask_parser.add_argument("question", nargs="+", help="question text(s)")
     ask_parser.set_defaults(handler=command_ask)
+
+    maintain_parser = subparsers.add_parser(
+        "maintain",
+        help="incrementally refresh a speech store after appended rows",
+    )
+    _add_engine_arguments(maintain_parser)
+    maintain_parser.add_argument(
+        "--append-rows", type=int, default=25, dest="append_rows",
+        help="hold out the dataset's last N rows as the update batch",
+    )
+    maintain_parser.add_argument(
+        "--verify-serial", action="store_true", dest="verify_serial",
+        help="re-run the pass serially and fail unless counts and store match",
+    )
+    maintain_parser.add_argument(
+        "--output", default=None, help="JSON file for the maintained store"
+    )
+    maintain_parser.set_defaults(handler=command_maintain)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate a table/figure of the paper"

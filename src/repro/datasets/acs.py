@@ -16,7 +16,7 @@ so the "best" speeches found by the algorithms resemble the paper's.
 from __future__ import annotations
 
 from repro.datasets.base import DatasetSpec, SyntheticDataset, categorical_choice, make_rng
-from repro.relational.column import Column, ColumnType
+from repro.relational.column import Column
 from repro.relational.table import Table
 
 BOROUGHS = ["Brooklyn", "Manhattan", "Queens", "Staten Island", "Bronx"]

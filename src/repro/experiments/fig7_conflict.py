@@ -10,7 +10,6 @@ best.
 
 from __future__ import annotations
 
-from repro.core.priors import ConstantPrior
 from repro.datasets import load_dataset
 from repro.experiments.runner import ExperimentResult
 from repro.userstudy.conflict import ConflictStudy

@@ -26,6 +26,7 @@ from repro.system.problem_generator import ProblemGenerator
 from repro.system.queries import DataQuery
 from repro.system.speech_store import SpeechStore
 from repro.system.templates import SpeechRealizer
+from repro.system.worker_pool import WorkerPool
 
 
 class ResponseKind(Enum):
@@ -199,18 +200,27 @@ class VoiceQueryEngine:
     # Pre-processing
     # ------------------------------------------------------------------
     def preprocess(
-        self, max_problems: int | None = None, workers: int = 0
+        self,
+        max_problems: int | None = None,
+        workers: int = 0,
+        pool: WorkerPool | None = None,
     ) -> PreprocessingReport:
         """Generate speeches for all queries up to the configured length.
 
-        ``workers`` > 1 runs the batch on a process pool; the resulting
-        store is identical to a serial run (see :class:`Preprocessor`).
+        ``workers`` > 1 runs the batch on a per-run process pool;
+        passing ``pool`` reuses a caller-owned
+        :class:`repro.system.worker_pool.WorkerPool` instead (one
+        deployment-lifetime pool amortises process start-up across
+        repeated pre-processing and maintenance passes).  Either way
+        the resulting store is identical to a serial run (see
+        :class:`Preprocessor`).
         """
         self._store, self._report = self._preprocessor.run(
             self._generator,
             store=SpeechStore(),
             max_problems=max_problems,
             workers=workers,
+            pool=pool,
         )
         return self._report
 

@@ -7,22 +7,23 @@ by a simple store lookup.
 
 The batch is embarrassingly parallel — each query's problem is built
 and solved independently — so :meth:`Preprocessor.run` optionally
-chunks the enumerated queries across a ``multiprocessing`` pool
-(``workers=N``).  Workers return realized speeches; the parent merges
-them back in enumeration order, so the resulting store (and its
+streams chunks of the enumerated queries across a
+:class:`repro.system.worker_pool.WorkerPool` (``workers=N``, or a
+caller-owned ``pool=`` reused across runs).  Queries are fed from
+:meth:`ProblemGenerator.enumerate_query_chunks`, so the full query list
+is never materialised; workers return realized speeches and the parent
+merges them back in enumeration order, so the resulting store (and its
 persisted JSON) is byte-identical to a serial run regardless of worker
-count or chunk scheduling.  Summarizers whose output depends on call
-order (``Summarizer.deterministic`` is False) are run serially even
-when workers are requested, so the guarantee holds for every
-algorithm.
+count, chunk scheduling or pool lifetime.  Summarizers whose output
+depends on call order (``Summarizer.deterministic`` is False) are run
+serially even when workers are requested, so the guarantee holds for
+every algorithm.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 import warnings
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -33,6 +34,7 @@ from repro.system.problem_generator import ProblemGenerator
 from repro.system.queries import DataQuery
 from repro.system.speech_store import SpeechStore, StoredSpeech
 from repro.system.templates import SpeechRealizer
+from repro.system.worker_pool import WorkerPool
 
 
 @dataclass
@@ -86,19 +88,6 @@ class PreprocessingReport:
 # ----------------------------------------------------------------------
 # Pool worker plumbing
 # ----------------------------------------------------------------------
-#: Per-worker state set by the pool initializer: (generator, summarizer,
-#: realizer).  A module global because pool tasks may only reference
-#: module-level callables.
-_WORKER_STATE: tuple[ProblemGenerator, Summarizer, SpeechRealizer] | None = None
-
-
-def _init_worker(
-    generator: ProblemGenerator, summarizer: Summarizer, realizer: SpeechRealizer
-) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (generator, summarizer, realizer)
-
-
 def _solve_query(
     generator: ProblemGenerator,
     summarizer: Summarizer,
@@ -128,18 +117,68 @@ def _solve_query(
     )
 
 
-def _solve_chunk(
+def solve_query_chunk(
+    context: tuple[ProblemGenerator, Summarizer, SpeechRealizer],
     chunk: list[DataQuery],
 ) -> list[tuple[StoredSpeech, int] | None]:
-    """Solve one chunk of queries in a pool worker."""
-    assert _WORKER_STATE is not None, "worker pool not initialized"
-    generator, summarizer, realizer = _WORKER_STATE
+    """Solve one chunk of queries under a broadcast worker-pool context.
+
+    The context is the (generator, summarizer, realizer) triple shipped
+    once per run by :class:`repro.system.worker_pool.WorkerPool`; the
+    incremental maintainer shares this entry point, so every execution
+    strategy funnels through :func:`_solve_query`.
+    """
+    generator, summarizer, realizer = context
     return [_solve_query(generator, summarizer, realizer, query) for query in chunk]
 
 
-def _chunked(items: list, size: int) -> Iterator[list]:
-    for start in range(0, len(items), size):
-        yield items[start : start + size]
+def resolve_parallelism(
+    summarizer: Summarizer, workers: int, pool: WorkerPool | None, verb: str = "running"
+) -> tuple[int, WorkerPool | None]:
+    """Effective worker count for one batch, honoring the serial fallback.
+
+    A caller-owned pool's worker count wins over ``workers``.
+    Summarizers that carry state across problems (``deterministic``
+    False, e.g. the RANDOM baseline) cannot be sharded without changing
+    their output, so they demote the run to serial with a warning.
+    Returns ``(effective_workers, pool)`` where 0 means serial; shared
+    by batch pre-processing and incremental maintenance so the policy
+    cannot drift between them.
+    """
+    requested = pool.workers if pool is not None else int(workers or 0)
+    if requested > 1 and not summarizer.deterministic:
+        warnings.warn(
+            f"summarizer {summarizer.name!r} carries state across "
+            f"problems; {verb} serially to keep its output reproducible",
+            stacklevel=3,
+        )
+        return 0, None
+    return (requested if requested > 1 else 0), pool
+
+
+def default_chunk_size(total_items: int, workers: int) -> int:
+    """~4 tasks per worker: scheduling slack vs. per-task pickling overhead."""
+    return max(1, -(-total_items // (workers * 4)))
+
+
+def stream_solved_chunks(
+    context: tuple[ProblemGenerator, Summarizer, SpeechRealizer],
+    chunks: Iterable[list[DataQuery]],
+    workers: int,
+    pool: WorkerPool | None,
+) -> Iterator[list[tuple[StoredSpeech, int] | None]]:
+    """Yield solved chunk results in order, managing the pool lifetime.
+
+    Uses the caller-owned ``pool`` when given (it stays open for the
+    next run); otherwise spawns a per-run :class:`WorkerPool` that is
+    closed when the stream is exhausted or closed early.
+    """
+    run_pool = pool if pool is not None else WorkerPool(workers)
+    try:
+        yield from run_pool.imap_chunks(context, solve_query_chunk, chunks)
+    finally:
+        if pool is None:
+            run_pool.close()
 
 
 class Preprocessor:
@@ -178,38 +217,34 @@ class Preprocessor:
         max_problems: int | None = None,
         workers: int = 0,
         chunk_size: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> tuple[SpeechStore, PreprocessingReport]:
         """Solve all generated problems and store the resulting speeches.
 
         ``max_problems`` caps the number of solved problems (useful for
-        tests and scaled-down experiments).  ``workers`` > 1 distributes
-        query chunks across a process pool; the merged store is
-        byte-identical to the serial result (``workers`` 0 or 1).
-        Summarizers that carry state across problems (``deterministic``
-        False, e.g. the RANDOM baseline) cannot be sharded without
-        changing their output, so they run serially with a warning.
-        ``chunk_size`` overrides the pool task granularity.
+        tests and scaled-down experiments).  ``workers`` > 1 streams
+        query chunks across a per-run :class:`WorkerPool`; passing
+        ``pool`` instead reuses a caller-owned pool (its worker count
+        wins), amortising process start-up across runs.  Either way the
+        merged store is byte-identical to the serial result (``workers``
+        0 or 1).  Summarizers that carry state across problems
+        (``deterministic`` False, e.g. the RANDOM baseline) cannot be
+        sharded without changing their output, so they run serially
+        with a warning.  ``chunk_size`` overrides the task granularity.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
-        if workers and workers > 1 and not self._summarizer.deterministic:
-            warnings.warn(
-                f"summarizer {self._summarizer.name!r} carries state across "
-                "problems; running serially to keep its output reproducible",
-                stacklevel=2,
-            )
-            workers = 0
-        store = store if store is not None else SpeechStore()
         # workers <= 1 takes the serial path; the report records how the
         # run actually executed (0 = serial, per the field docstring).
-        effective_workers = int(workers) if workers and workers > 1 else 0
+        effective_workers, pool = resolve_parallelism(self._summarizer, workers, pool)
+        store = store if store is not None else SpeechStore()
         report = PreprocessingReport(
             algorithm=self._summarizer.name, workers=effective_workers
         )
         start = time.perf_counter()
         if effective_workers:
             outcomes = self._parallel_outcomes(
-                generator, effective_workers, chunk_size, max_problems
+                generator, effective_workers, pool, chunk_size, max_problems
             )
         else:
             outcomes = self._serial_outcomes(generator, max_problems)
@@ -245,56 +280,46 @@ class Preprocessor:
         self,
         generator: ProblemGenerator,
         workers: int,
+        pool: WorkerPool | None,
         chunk_size: int | None,
         max_problems: int | None,
     ) -> Iterator[tuple[StoredSpeech, int] | None]:
         """Per-query outcomes computed by a worker pool, in query order.
 
-        Chunks are submitted with bounded look-ahead (at most two per
-        worker in flight) and collected first-in-first-out, so
-        flattening the results reproduces the exact enumeration order
-        no matter which worker solved which chunk — and once
-        ``max_problems`` speeches have been produced no further chunks
-        are dispatched (the pool is torn down; chunks already in flight
-        may finish unobserved).  The remaining queries are reported as
-        bare None outcomes, which the merge step only counts, mirroring
-        the serial path's cap behavior.
+        The query stream is never materialised: chunks come from
+        :meth:`ProblemGenerator.enumerate_query_chunks` and the pool
+        submits them with bounded look-ahead, collecting results
+        first-in-first-out — so flattening them reproduces the exact
+        enumeration order no matter which worker solved which chunk.
+        Once ``max_problems`` speeches have been produced no further
+        chunks are dispatched (chunks already in flight finish
+        unobserved; a caller-owned pool stays usable).  The remaining
+        queries are reported as bare None outcomes, which the merge
+        step only counts, mirroring the serial path's cap behavior —
+        their count comes from the arithmetic query counter, so the cap
+        short-circuits without enumerating the tail.
         """
-        queries = list(generator.enumerate_queries())
-        if not queries:
+        total_queries = generator.count_queries()
+        if not total_queries:
             return
         if chunk_size is None:
-            # ~4 tasks per worker balances scheduling slack against
-            # per-task pickling overhead.
-            chunk_size = max(1, -(-len(queries) // (workers * 4)))
-        chunk_iterator = _chunked(queries, chunk_size)
-        pending: deque = deque()
+            chunk_size = default_chunk_size(total_queries, workers)
+        context = (generator, self._summarizer, self._realizer)
+        chunk_results = stream_solved_chunks(
+            context, generator.enumerate_query_chunks(chunk_size), workers, pool
+        )
         yielded = 0
         solved = 0
-        with multiprocessing.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(generator, self._summarizer, self._realizer),
-        ) as pool:
-
-            def submit_next() -> None:
-                chunk = next(chunk_iterator, None)
-                if chunk is not None:
-                    pending.append(pool.apply_async(_solve_chunk, (chunk,)))
-
-            for _ in range(workers * 2):
-                submit_next()
-            while pending:
-                chunk_result = pending.popleft().get()
-                for outcome in chunk_result:
-                    yield outcome
-                    yielded += 1
-                    if outcome is not None:
-                        solved += 1
-                if max_problems is not None and solved >= max_problems:
-                    break
-                submit_next()
-        for _ in range(len(queries) - yielded):
+        for chunk_result in chunk_results:
+            for outcome in chunk_result:
+                yield outcome
+                yielded += 1
+                if outcome is not None:
+                    solved += 1
+            if max_problems is not None and solved >= max_problems:
+                chunk_results.close()
+                break
+        for _ in range(total_queries - yielded):
             yield None
 
     def _merge(

@@ -124,9 +124,48 @@ class ProblemGenerator:
                     for values in product(*(domains[d] for d in dims)):
                         yield DataQuery.create(target, dict(zip(dims, values)))
 
+    def enumerate_query_chunks(self, size: int) -> Iterator[list[DataQuery]]:
+        """Stream the enumerated queries as lists of at most ``size``.
+
+        This is the chunked feed for the worker-pool pipeline: chunks
+        are built directly from the lazy enumeration, so no full query
+        list is ever materialised — at 10^7 queries the peak memory is
+        one chunk, not the query space.  Concatenating the chunks
+        reproduces :meth:`enumerate_queries` order exactly.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be at least 1, got {size}")
+        chunk: list[DataQuery] = []
+        for query in self.enumerate_queries():
+            chunk.append(query)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
     def count_queries(self) -> int:
-        """Number of queries enumerated (without building problems)."""
-        return sum(1 for _ in self.enumerate_queries())
+        """Number of queries :meth:`enumerate_queries` yields.
+
+        Computed arithmetically from the dimension domain sizes — for
+        each target, one empty query plus, per dimension combination up
+        to ``max_query_length``, the product of the combined domains —
+        instead of exhausting the full enumeration just to count it
+        (O(dimensions choose length) work instead of O(queries)).
+        Parity with the enumeration is guarded by a test.
+        """
+        domain_sizes = {
+            dim: len(self._table.column(dim).distinct_values())
+            for dim in self._config.dimensions
+        }
+        per_target = 1
+        for length in range(1, self._config.max_query_length + 1):
+            for dims in combinations(self._config.dimensions, length):
+                product_size = 1
+                for dim in dims:
+                    product_size *= domain_sizes[dim]
+                per_target += product_size
+        return len(self._config.targets) * per_target
 
     # ------------------------------------------------------------------
     # Problem construction

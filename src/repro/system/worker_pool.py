@@ -1,0 +1,307 @@
+"""Persistent worker pool: the streaming pre-processing service layer.
+
+PR 2 parallelized :meth:`Preprocessor.run` by forking a fresh
+``multiprocessing`` pool on every call.  That is fine for a one-shot
+batch, but the ROADMAP's serving scenario re-preprocesses continuously
+(incremental maintenance after every data append), and forking a pool —
+plus re-shipping the problem generator to every worker — per pass wastes
+a fixed start-up cost that a long-lived service can pay once.
+
+:class:`WorkerPool` is that service.  It owns one ``multiprocessing``
+pool for its whole lifetime (context-manager scoped, lazily spawned on
+first use, gracefully shut down on :meth:`close`) and is shared by
+``Preprocessor.run``, ``VoiceQueryEngine.preprocess`` and
+``IncrementalMaintainer.maintain``.  Each run supplies
+
+* a *context* — the per-run state workers need (e.g. the problem
+  generator, summarizer and realizer), shipped to every worker exactly
+  once per run via a barrier broadcast, **not** once per task;
+* a module-level *function* ``func(context, chunk) -> result``;
+* an iterable of *chunks* (task payloads), typically a streaming
+  generator so the full task list is never materialised.
+
+:meth:`imap_chunks` submits chunks with bounded look-ahead and yields
+results **in submission order** no matter which worker finished first —
+the order-preserving merge that keeps downstream stores byte-identical
+to a serial run.  With ``workers <= 1`` the pool degrades to an
+in-process serial loop (no processes are ever spawned), so callers need
+a single code path.
+
+Implementation notes
+--------------------
+Pool workers only share state set at fork time, so a *reused* pool must
+be able to receive fresh per-run context.  The broadcast protocol:
+every context install is tagged with a monotonically increasing token;
+``workers`` copies of the install task are submitted, and each blocks on
+a ``multiprocessing.Barrier(workers)`` until *all* workers hold the new
+context — a worker stuck inside the barrier cannot pick up a second
+install task, so exactly one lands on each worker.  Chunk tasks carry
+their token and fail loudly on mismatch (only possible for tasks
+abandoned by an early-stopped run, whose results nobody reads).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator
+
+#: Seconds a context broadcast may take end to end.  Both the workers
+#: (inside the barrier) and the parent (waiting on the install results)
+#: give up after this, so a worker lost mid-broadcast — OOM-killed
+#: while unpickling a big context, say — surfaces as an error instead
+#: of a process-wide hang in an untimed ``Barrier.wait``.
+BROADCAST_TIMEOUT_SECONDS = 120.0
+
+#: Default ceiling on one chunk's solve time.  ``multiprocessing.Pool``
+#: never completes the result of a task whose worker died (it silently
+#: respawns the process and drops the task), so an untimed ``get()``
+#: would hang forever; a generous bound turns that into a loud error.
+CHUNK_TIMEOUT_SECONDS = 3600.0
+
+#: Per-worker installed context: (token, context object).
+_WORKER_CONTEXT: tuple[int, Any] | None = None
+#: Barrier shared by all workers of one pool (set by the initializer).
+_WORKER_BARRIER = None
+
+
+def _init_worker(barrier) -> None:
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+
+
+def _install_context(token: int, context: Any) -> int:
+    """Install one run's context; rendezvous so every worker gets one."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (token, context)
+    assert _WORKER_BARRIER is not None, "worker pool not initialized"
+    try:
+        _WORKER_BARRIER.wait(BROADCAST_TIMEOUT_SECONDS)
+    except threading.BrokenBarrierError:
+        raise RuntimeError(f"context broadcast {token} lost a worker mid-rendezvous") from None
+    return token
+
+
+def _run_chunk(token: int, func: Callable, chunk: Any) -> Any:
+    """Apply ``func`` to one chunk under the installed context.
+
+    A token mismatch is only possible for tasks abandoned by an
+    early-stopped run whose results nobody reads; failing loudly keeps
+    that invariant honest.
+    """
+    if _WORKER_CONTEXT is None or _WORKER_CONTEXT[0] != token:
+        raise RuntimeError(f"stale worker-pool task: expected context {token}")
+    return func(_WORKER_CONTEXT[1], chunk)
+
+
+class WorkerPool:
+    """A reusable process pool with per-run context broadcast.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  0 or 1 selects the serial fallback:
+        chunks run in the calling process and no pool is ever spawned.
+    lookahead:
+        Maximum in-flight chunks per worker while streaming (bounds
+        memory for generator-fed runs).
+    chunk_timeout:
+        Seconds one chunk may take before the run is aborted (see
+        ``CHUNK_TIMEOUT_SECONDS``); raise it for pathologically large
+        chunks rather than disabling it.
+
+    The pool is lazy: processes spawn on the first parallel
+    :meth:`imap_chunks` call, survive across calls (that is the point),
+    and are torn down by :meth:`close` / context-manager exit.  A closed
+    pool may be used again — it simply respawns lazily — so "fresh pool
+    per run" and "one pool per deployment" are both expressible with the
+    same object.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        lookahead: int = 2,
+        chunk_timeout: float = CHUNK_TIMEOUT_SECONDS,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        if chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be positive, got {chunk_timeout}")
+        self._workers = int(workers)
+        self._lookahead = int(lookahead)
+        self._chunk_timeout = float(chunk_timeout)
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._context_token = 0
+        self._installed_token: int | None = None
+        # Strong reference to the broadcast context: identity is the
+        # re-broadcast test, and holding the object pins its id.
+        self._installed_context: Any = None
+        self._spawn_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured worker count (0/1 = serial fallback)."""
+        return self._workers
+
+    @property
+    def parallel(self) -> bool:
+        """True when runs are distributed over worker processes."""
+        return self._workers > 1
+
+    @property
+    def spawned(self) -> bool:
+        """True while worker processes are alive."""
+        return self._pool is not None
+
+    @property
+    def spawn_count(self) -> int:
+        """How many times worker processes were (re)spawned.
+
+        A deployment reusing one pool across N maintenance passes keeps
+        this at 1; the per-run-fork strategy pays N spawns.  Exposed for
+        benchmarks and lifecycle tests.
+        """
+        return self._spawn_count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker processes down gracefully (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._installed_token = None
+        self._installed_context = None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def terminate(self) -> None:
+        """Kill the worker processes without waiting (idempotent).
+
+        Used when the pool is known to be broken (a failed context
+        broadcast): a graceful ``close`` would wait on workers that may
+        never finish.  The pool object stays usable — the next run
+        respawns lazily.
+        """
+        pool, self._pool = self._pool, None
+        self._installed_token = None
+        self._installed_context = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            barrier = multiprocessing.Barrier(self._workers)
+            self._pool = multiprocessing.Pool(
+                processes=self._workers,
+                initializer=_init_worker,
+                initargs=(barrier,),
+            )
+            self._spawn_count += 1
+            self._installed_token = None
+            self._installed_context = None
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Streaming execution
+    # ------------------------------------------------------------------
+    def imap_chunks(
+        self, context: Any, func: Callable[[Any, Any], Any], chunks: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Apply ``func(context, chunk)`` to every chunk, yielding in order.
+
+        ``chunks`` may be (and for streaming runs should be) a lazy
+        generator; at most ``lookahead`` chunks per worker are in flight,
+        so memory stays bounded by the look-ahead window rather than the
+        task list.  Results come back in submission order regardless of
+        completion order.  Stopping the returned iterator early simply
+        abandons in-flight chunks (their results are dropped); the pool
+        stays usable for the next run.
+
+        ``func`` must be a module-level callable and ``context`` must be
+        picklable; the context is broadcast to every worker once per run
+        (re-broadcast only when the context object changes), not pickled
+        per chunk.
+        """
+        if not self.parallel:
+            for chunk in chunks:
+                yield func(context, chunk)
+            return
+        pool = self._ensure_pool()
+        token = self._broadcast(pool, context)
+        chunk_iterator = iter(chunks)
+        pending: deque = deque()
+
+        def submit_next() -> bool:
+            chunk = next(chunk_iterator, _SENTINEL)
+            if chunk is _SENTINEL:
+                return False
+            pending.append(pool.apply_async(_run_chunk, (token, func, chunk)))
+            return True
+
+        for _ in range(self._workers * self._lookahead):
+            if not submit_next():
+                break
+        while pending:
+            try:
+                result = pending.popleft().get(self._chunk_timeout)
+            except multiprocessing.TimeoutError:
+                # The worker for this chunk most likely died (Pool drops
+                # such tasks silently); the pool is no longer trustworthy.
+                self.terminate()
+                raise RuntimeError(
+                    f"worker-pool chunk produced no result within "
+                    f"{self._chunk_timeout:.0f}s; a worker may have died"
+                ) from None
+            submit_next()
+            yield result
+
+    def _broadcast(self, pool: multiprocessing.pool.Pool, context: Any) -> int:
+        """Install ``context`` on every worker; returns its token.
+
+        Re-uses the previous broadcast when the same context object is
+        run again (the common case: one engine, many runs).  Identity —
+        not equality — is the test, so a mutated-and-resubmitted context
+        must be a new object; the callers here always rebuild their
+        context tuples per run state, making identity exact.
+        """
+        if self._installed_token is not None and self._installed_context is context:
+            return self._installed_token
+        self._context_token += 1
+        token = self._context_token
+        installs = [
+            pool.apply_async(_install_context, (token, context))
+            for _ in range(self._workers)
+        ]
+        try:
+            # Slightly longer than the worker-side barrier timeout so a
+            # broken barrier reports its own error before we give up.
+            for install in installs:
+                install.get(BROADCAST_TIMEOUT_SECONDS + 10.0)
+        except Exception as exc:
+            # A worker died or the rendezvous broke: the pool can no
+            # longer be trusted (replacement workers hold no barrier
+            # slot), so kill it rather than leave callers to hang.
+            self.terminate()
+            raise RuntimeError(f"worker-pool context broadcast failed: {exc}") from exc
+        self._installed_token = token
+        self._installed_context = context
+        return token
+
+
+#: Unique end-of-iterator marker for :meth:`WorkerPool.imap_chunks`.
+_SENTINEL = object()

@@ -8,7 +8,6 @@ from repro.algorithms.exact import ExactSummarizer
 from repro.algorithms.greedy import GreedySummarizer
 from repro.core.priors import ZeroPrior
 from repro.core.problem import SummarizationProblem
-from repro.core.utility import UtilityEvaluator
 
 
 def brute_force_optimum(problem) -> float:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algorithms.greedy import GreedySummarizer
-from repro.core.model import Fact, Scope, Speech
+from repro.core.model import Speech
 from repro.core.priors import ZeroPrior
 from repro.core.problem import SummarizationProblem
 

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.core.model import SummarizationRelation
-from repro.core.priors import ZeroPrior
 from repro.core.problem import SummarizationProblem
 from repro.core.utility import UtilityEvaluator
 from repro.facts.generation import FactGenerator

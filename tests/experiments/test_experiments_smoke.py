@@ -5,7 +5,6 @@ tests only verify that each experiment module executes, returns rows,
 and preserves the headline relationships the paper reports.
 """
 
-import pytest
 
 from repro.experiments.ablations import (
     run_exact_pruning_ablation,
@@ -21,7 +20,7 @@ from repro.experiments.fig9_query_mix import dominant_complexity, run_figure9
 from repro.experiments.fig10_latency import latency_advantage, run_figure10
 from repro.experiments.fig11_baseline_study import overall_winner, run_figure11
 from repro.experiments.ml_baseline_study import run_ml_baseline
-from repro.experiments.scenarios import ScenarioScale, TINY_SCALE
+from repro.experiments.scenarios import TINY_SCALE
 from repro.experiments.table1_datasets import run_table1
 from repro.experiments.table2_speeches import run_table2
 from repro.experiments.table3_requests import run_table3

@@ -10,7 +10,6 @@ Covers the two perf-critical properties introduced with the cube rework:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.model import Scope, SummarizationRelation

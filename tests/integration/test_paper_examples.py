@@ -15,7 +15,7 @@ from repro.core.priors import ZeroPrior
 from repro.core.problem import SummarizationProblem
 from repro.core.utility import UtilityEvaluator
 from repro.facts.generation import FactGenerator
-from repro.relational.column import Column, ColumnType
+from repro.relational.column import ColumnType
 from repro.relational.table import Table
 
 REGIONS = ["East", "South", "West", "North"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mlbaseline.corpus import SummarizationExample, build_corpus, facts_to_text, split_corpus
+from repro.mlbaseline.corpus import build_corpus, facts_to_text, split_corpus
 from repro.system.config import SummarizationConfig
 from repro.system.preprocessor import Preprocessor
 from repro.system.problem_generator import ProblemGenerator

@@ -95,6 +95,22 @@ class TestParallelParity:
         assert report.per_query_seconds > 0
         assert 0 < report.average_scaled_utility <= 1.0
 
+    def test_streamed_chunks_never_materialise_the_query_list(
+        self, config, example_table, monkeypatch
+    ):
+        """The pool path must consume the chunk stream, not list(queries)."""
+        generator = ProblemGenerator(config, example_table)
+        chunk_sizes = []
+        original = ProblemGenerator.enumerate_query_chunks
+
+        def spying(self, size):
+            chunk_sizes.append(size)
+            return original(self, size)
+
+        monkeypatch.setattr(ProblemGenerator, "enumerate_query_chunks", spying)
+        Preprocessor(config).run(generator, workers=2, chunk_size=3)
+        assert chunk_sizes == [3]
+
     def test_stateful_summarizer_falls_back_to_serial(self, config, example_table):
         from repro.algorithms.random_baseline import RandomSummarizer
 
@@ -110,3 +126,56 @@ class TestParallelParity:
         # byte-identity guarantee for every algorithm.
         assert report.workers == 0
         assert store_bytes(store, config) == store_bytes(serial_store, config)
+
+
+class TestPersistentPoolParity:
+    """One caller-owned pool reused across runs: same bytes, one spawn."""
+
+    def test_pool_reuse_matches_serial_for_all_combinations(
+        self, config, example_table
+    ):
+        serial_store, serial_report = run_with_workers(config, example_table, workers=0)
+        expected = store_bytes(serial_store, config)
+        from repro.system.worker_pool import WorkerPool
+
+        with WorkerPool(2) as pool:
+            for chunk_size in (None, 1, 4):
+                for max_problems in (None, 4):
+                    store, report = run_with_workers(
+                        config,
+                        example_table,
+                        workers=0,  # the pool's worker count must win
+                        pool=pool,
+                        chunk_size=chunk_size,
+                        max_problems=max_problems,
+                    )
+                    label = f"chunk_size={chunk_size} max_problems={max_problems}"
+                    if max_problems is None:
+                        assert store_bytes(store, config) == expected, label
+                        assert report_fields(report) == report_fields(serial_report)
+                    else:
+                        capped_store, capped_report = run_with_workers(
+                            config, example_table, workers=0, max_problems=max_problems
+                        )
+                        assert store_bytes(store, config) == store_bytes(
+                            capped_store, config
+                        ), label
+                        assert report_fields(report) == report_fields(capped_report)
+                    assert report.workers == 2
+            assert pool.spawn_count == 1
+
+    def test_engine_preprocess_accepts_a_shared_pool(self, config, example_table):
+        from repro.system.engine import VoiceQueryEngine
+        from repro.system.worker_pool import WorkerPool
+
+        serial_engine = VoiceQueryEngine(config, example_table)
+        serial_engine.preprocess()
+        with WorkerPool(2) as pool:
+            engine = VoiceQueryEngine(config, example_table)
+            first = engine.preprocess(pool=pool)
+            second = engine.preprocess(pool=pool)
+            assert pool.spawn_count == 1
+        assert first.workers == second.workers == 2
+        assert store_bytes(engine.store, config) == store_bytes(
+            serial_engine.store, config
+        )

@@ -70,6 +70,59 @@ class TestQueryEnumeration:
         with pytest.raises(InvalidProblemError):
             ProblemGenerator(config, table)
 
+    @pytest.mark.parametrize("max_query_length", [1, 2, 3])
+    @pytest.mark.parametrize("dimensions", [("region",), ("region", "season")])
+    def test_arithmetic_count_matches_enumeration(
+        self, example_table, dimensions, max_query_length
+    ):
+        """count_queries is computed from domain sizes, not by exhausting
+        the enumeration — the two must always agree."""
+        config = SummarizationConfig.create(
+            "flight_delays",
+            dimensions=dimensions,
+            targets=("delay",),
+            max_query_length=max_query_length,
+        )
+        generator = ProblemGenerator(config, example_table)
+        enumerated = sum(1 for _ in generator.enumerate_queries())
+        assert generator.count_queries() == enumerated
+
+    def test_arithmetic_count_matches_enumeration_multi_target(self, example_table):
+        table = example_table.with_column(
+            example_table.column("delay").renamed("delay_copy")
+        )
+        config = SummarizationConfig.create(
+            "flight_delays",
+            dimensions=("region", "season"),
+            targets=("delay", "delay_copy"),
+            max_query_length=2,
+        )
+        generator = ProblemGenerator(config, table)
+        assert generator.count_queries() == sum(1 for _ in generator.enumerate_queries())
+
+
+class TestQueryChunkStreaming:
+    def test_chunks_concatenate_to_enumeration_order(self, generator):
+        queries = list(generator.enumerate_queries())
+        for size in (1, 2, 4, 100):
+            chunks = list(generator.enumerate_query_chunks(size))
+            flattened = [query for chunk in chunks for query in chunk]
+            assert flattened == queries, f"size={size}"
+            assert all(len(chunk) <= size for chunk in chunks)
+            # Every chunk except the last is full.
+            assert all(len(chunk) == size for chunk in chunks[:-1])
+
+    def test_chunk_stream_is_lazy(self, generator):
+        stream = generator.enumerate_query_chunks(2)
+        first = next(stream)
+        assert len(first) == 2
+        assert first == list(generator.enumerate_queries())[:2]
+
+    def test_invalid_chunk_size_rejected(self, generator):
+        for size in (0, -3):
+            with pytest.raises(ValueError, match="chunk size"):
+                next(generator.enumerate_query_chunks(size))
+
 
 class TestProblemConstruction:
     def test_build_problem_for_overall_query(self, generator):

@@ -1,6 +1,6 @@
 """Unit tests for repro.system.speech_store."""
 
-from repro.core.model import Fact, Scope, Speech
+from repro.core.model import Fact, Speech
 from repro.system.queries import DataQuery
 from repro.system.speech_store import SpeechStore, StoredSpeech
 

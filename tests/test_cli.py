@@ -124,3 +124,52 @@ class TestCommands:
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "figure99"]) == 2
         assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestMaintainCommand:
+    COMMON = [
+        "maintain",
+        "--dataset", "flights",
+        "--rows", "160",
+        "--dimensions", "origin_region", "season",
+        "--targets", "cancellation",
+        "--algorithm", "G-B",
+        "--append-rows", "15",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["maintain", "--dataset", "flights"])
+        assert args.command == "maintain"
+        assert args.append_rows == 25
+        assert args.pool == "fresh"
+        assert not args.verify_serial
+
+    def test_pool_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["maintain", "--dataset", "flights", "--pool", "forever"]
+            )
+
+    def test_serial_maintenance_pass(self, capsys):
+        assert main(self.COMMON) == 0
+        output = capsys.readouterr().out
+        assert "appended 15 rows" in output
+        assert "speeches rebuilt" in output
+        assert "workers=0" in output
+
+    def test_parallel_pass_verifies_against_serial(self, capsys, tmp_path):
+        store_path = tmp_path / "maintained.json"
+        code = main(
+            self.COMMON
+            + [
+                "--workers", "2",
+                "--pool", "keep",
+                "--verify-serial",
+                "--output", str(store_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workers=2, pool=keep" in output
+        assert "serial parity verified" in output
+        assert store_path.exists()

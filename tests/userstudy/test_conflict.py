@@ -1,6 +1,5 @@
 """Unit tests for the conflict-resolution study (Figure 7)."""
 
-import pytest
 
 from repro.userstudy.conflict import MODEL_LABELS, ConflictStudy
 from repro.userstudy.worker import WorkerPool
