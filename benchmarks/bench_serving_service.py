@@ -1,0 +1,230 @@
+"""Benchmark: serving-service throughput with and without maintenance.
+
+Runs the asyncio :class:`repro.serving.service.VoiceService` over a
+synthesized request stream against the flights dataset and measures
+sustained qps and tail latency (p50/p95/p99) in two phases:
+
+* ``serve_only`` — requests only, no background work;
+* ``serve_with_maintenance`` — the same request stream while held-out
+  rows are appended through the background maintenance scheduler
+  (store-snapshot swaps mid-stream, serving never pauses).
+
+The run self-verifies the serving contract: no request errors, at
+least one snapshot swap, requests completing *while* maintenance is in
+flight, and — the store-parity check — the post-swap store must be
+byte-identical to running serial ``maintain`` on the exact batches the
+scheduler's jobs consumed, in order.  Any violation exits non-zero.
+
+The gated regression metric is ``throughput_ratio`` (qps with
+maintenance / qps without): the "serving continues" claim, as a
+same-process ratio that is comparatively stable across machines.
+
+Usage::
+
+    python benchmarks/bench_serving_service.py           # full run
+    python benchmarks/bench_serving_service.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import load_dataset  # noqa: E402
+from repro.serving import VoiceService  # noqa: E402
+from repro.serving.workload import (  # noqa: E402
+    drive_requests,
+    holdout_split,
+    serving_questions,
+    split_batches,
+)
+from repro.system.config import SummarizationConfig  # noqa: E402
+from repro.system.engine import VoiceQueryEngine  # noqa: E402
+from repro.system.persistence import store_to_dict  # noqa: E402
+from repro.system.updates import IncrementalMaintainer  # noqa: E402
+
+CONCURRENCY = 8
+QUEUE_DEPTH = 128
+
+
+def build_engine(rows: int, append_rows: int):
+    dataset = load_dataset("flights", num_rows=rows)
+    spec = dataset.spec
+    config = SummarizationConfig.create(
+        table=spec.key,
+        dimensions=spec.dimensions,
+        targets=spec.targets,
+        max_query_length=1,
+        algorithm="G-B",
+    )
+    base, held_out = holdout_split(dataset.table, append_rows)
+    engine = VoiceQueryEngine(config, base)
+    engine.preprocess()
+    return engine, config, base, held_out
+
+
+def replay_payload(config, base, jobs) -> str:
+    """Serial maintenance on the jobs' exact batches; canonical payload."""
+    reference = VoiceQueryEngine(config, base)
+    reference.preprocess()
+    maintainer = IncrementalMaintainer(
+        config, base, summarizer=reference.summarizer, realizer=reference.realizer
+    )
+    for job in jobs:
+        maintainer.maintain(job.new_rows, reference.store, workers=0)
+    return json.dumps(store_to_dict(reference.store), sort_keys=True)
+
+
+def run(rows: int, requests: int, append_rows: int, passes: int) -> dict:
+    engine, config, base, held_out = build_engine(rows, append_rows)
+    questions = serving_questions(engine.store, requests)
+    batches = split_batches(held_out, passes)
+    append_at = {
+        (index + 1) * (len(questions) // (len(batches) + 1)): batch
+        for index, batch in enumerate(batches)
+    }
+
+    async def bench():
+        async with VoiceService(
+            engine, concurrency=CONCURRENCY, max_queue_depth=QUEUE_DEPTH
+        ) as service:
+            # Warm-up: populate realizer/parse caches outside measurement.
+            await drive_requests(
+                service,
+                questions[: min(64, len(questions))],
+                max_outstanding=QUEUE_DEPTH // 2,
+            )
+
+            service.metrics.reset()
+            start = time.perf_counter()
+            serve_only, _ = await drive_requests(
+                service, questions, max_outstanding=QUEUE_DEPTH // 2
+            )
+            serve_only["wall_seconds"] = time.perf_counter() - start
+
+            service.metrics.reset()
+            start = time.perf_counter()
+            with_maintenance, completed_during = await drive_requests(
+                service, questions, append_at, max_outstanding=QUEUE_DEPTH // 2
+            )
+            with_maintenance["wall_seconds"] = time.perf_counter() - start
+            jobs = list(service.scheduler.jobs)
+            final_store = service.registry.current.store
+        return serve_only, with_maintenance, completed_during, jobs, final_store
+
+    serve_only, with_maintenance, completed_during, jobs, final_store = asyncio.run(
+        bench()
+    )
+
+    with_maintenance["snapshot_swaps"] = len(
+        [job for job in jobs if job.status == "completed"]
+    )
+    with_maintenance["completed_during_maintenance"] = completed_during
+    with_maintenance["maintenance_seconds"] = sum(job.seconds for job in jobs)
+    with_maintenance["jobs"] = [
+        {
+            "index": job.index,
+            "status": job.status,
+            "batches": job.batches,
+            "rows": job.new_rows.num_rows,
+            "rebuilt_speeches": job.report.rebuilt_speeches if job.report else None,
+            "seconds": job.seconds,
+        }
+        for job in jobs
+    ]
+
+    store_parity = (
+        json.dumps(store_to_dict(final_store), sort_keys=True)
+        == replay_payload(config, base, jobs)
+    )
+    return {
+        "workload": {
+            "dataset": "flights",
+            "rows": rows,
+            "requests": requests,
+            "append_rows": append_rows,
+            "maintenance_passes": len(batches),
+            "concurrency": CONCURRENCY,
+            "speeches": len(engine.store),
+        },
+        "serve_only": serve_only,
+        "serve_with_maintenance": with_maintenance,
+        "throughput_ratio": with_maintenance["qps"] / serve_only["qps"],
+        "p99_ratio": (
+            with_maintenance["p99_ms"] / serve_only["p99_ms"]
+            if serve_only["p99_ms"]
+            else 0.0
+        ),
+        "store_parity": store_parity,
+    }
+
+
+def verify(report: dict) -> list[str]:
+    """Self-checks; any failure makes the run exit non-zero."""
+    problems = []
+    maintenance = report["serve_with_maintenance"]
+    if not report["store_parity"]:
+        problems.append(
+            "post-swap store differs from serial maintenance on the same batches"
+        )
+    for phase in ("serve_only", "serve_with_maintenance"):
+        if report[phase]["errors"]:
+            problems.append(f"{phase}: {report[phase]['errors']} request errors")
+        if report[phase]["rejected"]:
+            problems.append(f"{phase}: {report[phase]['rejected']} rejected requests")
+    if maintenance["snapshot_swaps"] < 1:
+        problems.append("no maintenance job completed (no snapshot swap)")
+    failed = [job for job in maintenance["jobs"] if job["status"] != "completed"]
+    if failed:
+        problems.append(f"{len(failed)} maintenance jobs did not complete")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1200)
+    parser.add_argument("--requests", type=int, default=4000)
+    parser.add_argument("--append-rows", type=int, default=120, dest="append_rows")
+    parser.add_argument(
+        "--passes", type=int, default=2, help="background maintenance passes"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    parser.add_argument("--output", default=None, help="also write the JSON to a file")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run(rows=300, requests=2000, append_rows=30, passes=2)
+    else:
+        report = run(
+            rows=args.rows,
+            requests=args.requests,
+            append_rows=args.append_rows,
+            passes=args.passes,
+        )
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+
+    problems = verify(report)
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

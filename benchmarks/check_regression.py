@@ -62,6 +62,15 @@ SPECS: list[dict] = [
         "name": "incremental",
         "metrics": [{"path": "discovery.speedup", "tolerance": 0.5}],
     },
+    {
+        # throughput_ratio = qps while a background maintenance pass
+        # runs / qps serving alone.  Noise moves it tens of percent;
+        # the regression it guards (serving blocking on maintenance)
+        # collapses it toward stream/maintenance-duration, ~0.1.  The
+        # smoke also self-verifies store parity and zero request errors.
+        "name": "serving_service",
+        "metrics": [{"path": "throughput_ratio", "tolerance": 0.5}],
+    },
 ]
 
 

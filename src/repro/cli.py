@@ -12,6 +12,10 @@ The CLI exposes the three workflows a user of the system goes through:
 * ``repro-voice maintain`` — simulate an append-only data update:
   pre-process a base slice of a dataset, append the held-out rows, and
   incrementally refresh only the affected speeches;
+* ``repro-voice serve`` — run the asyncio serving service against a
+  synthetic request stream: concurrent ``submit`` sessions, background
+  maintenance passes on held-out rows (snapshot swaps, no pause), and
+  an aggregate latency/throughput report — the deployment smoke;
 * ``repro-voice experiment`` — regenerate one of the paper's tables or
   figures and print its rows.
 
@@ -207,17 +211,14 @@ def command_maintain(args: argparse.Namespace) -> int:
     payloads must match exactly — the CI smoke for parallel incremental
     maintenance.
     """
+    from repro.serving.workload import holdout_split
     from repro.system.preprocessor import Preprocessor
     from repro.system.problem_generator import ProblemGenerator
     from repro.system.updates import IncrementalMaintainer
 
     dataset = load_dataset(args.dataset, num_rows=args.rows)
     config = _build_config(args, dataset.spec)
-    table = dataset.table
-    held_out = max(1, min(args.append_rows, table.num_rows - 2))
-    base_count = table.num_rows - held_out
-    base_table = table.mask([i < base_count for i in range(table.num_rows)])
-    new_rows = table.mask([i >= base_count for i in range(table.num_rows)])
+    base_table, new_rows = holdout_split(dataset.table, args.append_rows)
 
     def run_pass(workers: int, pool: WorkerPool | None):
         store, _ = Preprocessor(config).run(
@@ -258,6 +259,114 @@ def command_maintain(args: argparse.Namespace) -> int:
             f"serial parity verified: {serial_report.rebuilt_speeches} speeches "
             "rebuilt, identical store payloads"
         )
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Serve a synthetic request stream with concurrent maintenance.
+
+    Pre-processes a base slice of the dataset, then answers
+    ``--requests`` synthesized questions through the
+    :class:`repro.serving.service.VoiceService` request loop while the
+    held-out rows are appended in background maintenance passes (one
+    pass requested every ``--maintain-every`` submissions).  Exits
+    non-zero if any request errors, any maintenance job fails, or the
+    service rejected work the driver paced within its queue bounds.
+    """
+    import asyncio
+
+    from repro.serving import VoiceService
+    from repro.serving.workload import (
+        drive_requests,
+        holdout_split,
+        serving_questions,
+        split_batches,
+    )
+    from repro.system.engine import VoiceQueryEngine as Engine
+
+    dataset = load_dataset(args.dataset, num_rows=args.rows)
+    config = _build_config(args, dataset.spec)
+    base_table, new_rows = holdout_split(dataset.table, args.append_rows)
+
+    engine = Engine(
+        config,
+        base_table,
+        enable_advanced_queries=args.advanced,
+        use_shared_cube=args.shared_cube,
+    )
+
+    passes = (
+        max(1, args.requests // args.maintain_every) if args.maintain_every else 0
+    )
+    batches = split_batches(new_rows, passes)
+    # Trigger a pass every --maintain-every submissions, clamped into
+    # the request stream so the last batches are never dropped (several
+    # batches landing on the final request coalesce into one job).
+    append_at: dict[int, list] = {}
+    for index, batch in enumerate(batches):
+        position = min((index + 1) * args.maintain_every, args.requests - 1)
+        append_at.setdefault(position, []).append(batch)
+
+    async def drive(pool) -> tuple[dict, list]:
+        async with VoiceService(
+            engine,
+            concurrency=args.concurrency,
+            max_queue_depth=args.queue_depth,
+            pool=pool,
+            maintenance_workers=args.workers,
+        ) as service:
+            questions = serving_questions(engine.store, args.requests)
+            summary, _ = await drive_requests(
+                service,
+                questions,
+                append_at,
+                max_outstanding=max(1, args.queue_depth // 2),
+            )
+            await service.scheduler.quiesce()
+            jobs = list(service.scheduler.jobs)
+        return summary, jobs
+
+    with _pool_scope(args) as pool:
+        report = engine.preprocess(
+            max_problems=args.max_problems, workers=args.workers, pool=pool
+        )
+        print(
+            f"pre-processed {report.speeches_generated} speeches in "
+            f"{report.total_seconds:.2f}s; serving {args.requests} requests "
+            f"(concurrency {args.concurrency}, {len(batches)} maintenance passes)"
+        )
+        summary, jobs = asyncio.run(drive(pool))
+
+    print(
+        f"served {summary['completed']} requests at {summary['qps']:.0f} qps "
+        f"(p50 {summary['p50_ms']:.2f} ms, p95 {summary['p95_ms']:.2f} ms, "
+        f"p99 {summary['p99_ms']:.2f} ms, hit rate {summary['hit_rate']:.2f}, "
+        f"{summary['offloaded']} offloaded, {summary['errors']} errors)"
+    )
+    for job in jobs:
+        outcome = (
+            f"rebuilt {job.report.rebuilt_speeches} speeches -> "
+            f"snapshot v{job.snapshot_version}"
+            if job.report is not None
+            else job.error or job.status
+        )
+        print(
+            f"maintenance job {job.index}: {job.status}, "
+            f"{job.new_rows.num_rows} rows ({job.batches} batches coalesced), "
+            f"{outcome} in {job.seconds:.2f}s"
+        )
+    failed_jobs = [job for job in jobs if job.status == "failed"]
+    if summary["errors"] or summary["rejected"] or failed_jobs:
+        print(
+            "ERROR: serving smoke failed "
+            f"(errors={summary['errors']}, rejected={summary['rejected']}, "
+            f"failed_jobs={len(failed_jobs)})",
+            file=sys.stderr,
+        )
+        return 1
+    if len(batches) != 0 and not jobs:
+        print("ERROR: no maintenance job ran", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -313,6 +422,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="JSON file for the maintained store"
     )
     maintain_parser.set_defaults(handler=command_maintain)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the concurrent serving service with background maintenance",
+    )
+    _add_engine_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--requests", type=int, default=120,
+        help="synthesized voice requests to serve",
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="service worker tasks (max in-flight requests)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=64, dest="queue_depth",
+        help="admission-control queue depth before submits are rejected",
+    )
+    serve_parser.add_argument(
+        "--append-rows", type=int, default=25, dest="append_rows",
+        help="hold out the dataset's last N rows as maintenance appends",
+    )
+    serve_parser.add_argument(
+        "--maintain-every", type=int, default=40, dest="maintain_every",
+        help="request a background maintenance pass every N submissions "
+        "(0 disables maintenance)",
+    )
+    serve_parser.set_defaults(handler=command_serve)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate a table/figure of the paper"

@@ -1,0 +1,308 @@
+"""Re-entrant background maintenance scheduler for the serving service.
+
+ROADMAP named the missing piece after PR 3's worker pool: "an async job
+queue with re-entrant scheduling so one deployment can interleave
+maintenance passes with live serving".  This module is that queue.
+
+The scheduler accepts appended-row batches at any time
+(:meth:`MaintenanceScheduler.request_append` is re-entrant: calling it
+while a maintenance job is running simply queues more work) and runs at
+most one maintenance job at a time on a dedicated thread, so the
+asyncio request loop keeps serving while
+:meth:`repro.system.updates.IncrementalMaintainer.maintain` crunches —
+optionally fanning re-summarization out over a shared
+:class:`repro.system.worker_pool.WorkerPool` (the CLI's ``--pool keep``
+pool).  Batches that arrive while a job is in flight are *coalesced*:
+the next job concatenates every queued batch into one append, paying
+one affected-query discovery and one store swap for all of them.
+
+Each job builds against a clone of the current snapshot
+(:meth:`StoreSnapshot.begin_build`), so serving reads are never
+disturbed, and publishes the maintained store with one atomic
+:meth:`SnapshotRegistry.swap` on completion.  Because jobs are
+serialized and each starts from the previous swap, the final store is
+identical to running ``maintain`` serially on the same job batches in
+the same order — the parity the serving benchmark and property tests
+verify byte-for-byte.
+
+Shutdown is clean mid-job: :meth:`stop` lets the in-flight job finish
+(it owns a half-built clone nobody else sees) and either drains or
+cancels the still-queued batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import reduce
+from typing import Sequence
+
+from repro.relational.table import Table
+from repro.serving.snapshots import SnapshotRegistry
+from repro.system.updates import IncrementalMaintainer, MaintenanceReport
+from repro.system.worker_pool import WorkerPool
+
+
+@dataclass
+class MaintenanceJob:
+    """Record of one maintenance job the scheduler ran (or cancelled).
+
+    Attributes
+    ----------
+    index:
+        1-based sequence number in scheduling order.
+    batches:
+        How many :meth:`request_append` batches were coalesced into it.
+    new_rows:
+        The coalesced append table the job consumed (kept so parity
+        checks can replay the exact batches serially).
+    status:
+        ``completed``, ``failed`` or ``cancelled``.
+    report:
+        The maintainer's report (completed jobs only).
+    snapshot_version:
+        Version of the snapshot the job published (completed jobs only).
+    error:
+        Repr of the exception (failed jobs only).
+    seconds:
+        Wall-clock time of the job including the snapshot swap.
+    """
+
+    index: int
+    batches: int
+    new_rows: Table
+    status: str
+    report: MaintenanceReport | None = None
+    snapshot_version: int | None = None
+    error: str | None = None
+    seconds: float = 0.0
+
+
+class MaintenanceScheduler:
+    """Runs incremental maintenance in the background, swapping snapshots.
+
+    Parameters
+    ----------
+    maintainer:
+        The incremental maintainer; its table advances with every job.
+    registry:
+        Snapshot registry shared with the request path.
+    pool:
+        Optional shared :class:`WorkerPool` for the re-summarization
+        fan-out (one deployment-lifetime pool, warmed up at service
+        start).  None runs each job serially in the scheduler thread.
+    workers:
+        Per-job worker count when no shared pool is given (forwarded to
+        ``maintain(workers=...)``); ignored when ``pool`` is set.
+    on_swap:
+        Optional callback invoked after each successful snapshot swap
+        with the maintainer's updated table.  Runs on the maintenance
+        executor thread (it may do O(table) work, e.g. rebuilding a
+        parser lexicon) — implementations must restrict themselves to
+        atomic attribute swaps visible to the event loop.
+
+    The scheduler is asyncio-native: construct and drive it from one
+    event loop (:meth:`start`, :meth:`request_append`, :meth:`stop`).
+    Only the maintenance computation itself leaves the loop, onto a
+    dedicated single-thread executor.
+    """
+
+    def __init__(
+        self,
+        maintainer: IncrementalMaintainer,
+        registry: SnapshotRegistry,
+        pool: WorkerPool | None = None,
+        workers: int = 0,
+        on_swap=None,
+    ):
+        self._maintainer = maintainer
+        self._registry = registry
+        self._pool = pool
+        self._workers = int(workers)
+        self._on_swap = on_swap
+        self._pending: list[Table] = []
+        self._jobs: list[MaintenanceJob] = []
+        self._job_counter = 0
+        self._active_job: MaintenanceJob | None = None
+        self._task: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._idle: asyncio.Event | None = None
+        self._closing = False
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> Sequence[MaintenanceJob]:
+        """Finished (completed/failed/cancelled) jobs in scheduling order."""
+        return tuple(self._jobs)
+
+    @property
+    def active_job(self) -> MaintenanceJob | None:
+        """The job currently maintaining, if any."""
+        return self._active_job
+
+    @property
+    def pending_batches(self) -> int:
+        """Appended-row batches queued but not yet picked up by a job."""
+        return len(self._pending)
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and the end of :meth:`stop`."""
+        return self._task is not None and not self._task.done()
+
+    @property
+    def table(self) -> Table:
+        """The maintainer's current table (advances with every job)."""
+        return self._maintainer.table
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler's worker task on the running event loop."""
+        if self.running:
+            raise RuntimeError("maintenance scheduler already started")
+        self._closing = False
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="maintenance"
+        )
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="maintenance-scheduler"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the scheduler, finishing the in-flight job first.
+
+        ``drain=True`` runs every still-queued batch before stopping
+        (one final coalesced job); ``drain=False`` cancels the queued
+        batches (recorded as ``cancelled`` jobs) and only waits for the
+        job already in flight.  Either way the last published snapshot
+        is complete — a job is never abandoned half-applied.
+        """
+        if self._task is None:
+            return
+        self._closing = True
+        cancelled: list[Table] = []
+        if not drain and self._pending:
+            cancelled, self._pending = self._pending, []
+        self._wake.set()
+        await self._task
+        self._task = None
+        if cancelled:
+            # Recorded only after the worker exited, so the in-flight
+            # job (which finished first) keeps its earlier index and
+            # position in the job log.
+            self._jobs.append(
+                MaintenanceJob(
+                    index=self._next_index(),
+                    batches=len(cancelled),
+                    new_rows=_concat(cancelled),
+                    status="cancelled",
+                )
+            )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def request_append(self, new_rows: Table) -> None:
+        """Queue appended rows for background maintenance (re-entrant).
+
+        Returns immediately; the rows are folded into the next job.
+        Batches queued while a job is running are coalesced into one
+        follow-up job.  Empty batches are ignored.
+        """
+        if self._task is None or self._closing:
+            raise RuntimeError("maintenance scheduler is not accepting appends")
+        if new_rows.num_rows == 0:
+            return
+        self._pending.append(new_rows)
+        self._idle.clear()
+        self._wake.set()
+
+    async def quiesce(self) -> None:
+        """Wait until every queued batch has been maintained and swapped."""
+        if self._idle is not None:
+            await self._idle.wait()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._pending:
+                batches, self._pending = self._pending, []
+                await self._run_job(loop, batches)
+            if not self._pending:
+                self._idle.set()
+            if self._closing:
+                return
+
+    def _next_index(self) -> int:
+        """The next unique job index (allocation order, never reused)."""
+        self._job_counter += 1
+        return self._job_counter
+
+    async def _run_job(self, loop: asyncio.AbstractEventLoop, batches: list[Table]) -> None:
+        job = MaintenanceJob(
+            index=self._next_index(),
+            batches=len(batches),
+            new_rows=_concat(batches),
+            status="running",
+        )
+        self._active_job = job
+        start = time.perf_counter()
+        table_before = self._maintainer.table
+        try:
+            build, job.report = await loop.run_in_executor(
+                self._executor, self._maintain, job.new_rows
+            )
+            job.snapshot_version = self._registry.swap(build).version
+            job.status = "completed"
+            if self._on_swap is not None:
+                await loop.run_in_executor(
+                    self._executor, self._on_swap, self._maintainer.table
+                )
+        except Exception as exc:
+            job.status = "failed"
+            job.error = repr(exc)
+            # maintain() appends rows before re-summarizing; undo so
+            # the maintainer stays consistent with the last snapshot
+            # that actually published (the failed build is discarded).
+            self._maintainer.rollback_table(table_before)
+        finally:
+            job.seconds = time.perf_counter() - start
+            self._active_job = None
+            self._jobs.append(job)
+
+    def _maintain(self, new_rows: Table):
+        """One maintenance pass (runs entirely on the scheduler thread).
+
+        Clones the current snapshot here too — the clone is O(store)
+        and only reads the immutable published snapshot, so doing it
+        off the event loop keeps request serving unstalled however
+        large the store grows.
+        """
+        build = self._registry.current.begin_build()
+        report = self._maintainer.maintain(
+            new_rows, build, workers=self._workers, pool=self._pool
+        )
+        return build, report
+
+
+def _concat(batches: list[Table]) -> Table:
+    """Concatenate append batches in arrival order."""
+    return reduce(lambda left, right: left.concat(right), batches)

@@ -1,0 +1,417 @@
+"""The asyncio voice-serving service: concurrent requests over snapshots.
+
+:class:`VoiceService` wraps a pre-processed
+:class:`repro.system.engine.VoiceQueryEngine` as a long-lived service:
+
+* **Request loop** — :meth:`submit` enqueues a transcript;
+  ``concurrency`` worker tasks answer requests concurrently.  Each
+  request pins the current :class:`StoreSnapshot` at dispatch and
+  answers entirely from it, so a maintenance swap mid-request is
+  invisible.
+* **Inline fast path / bounded offload** — requests the store answers
+  with one exact-key probe (the paper's common case: near-zero-latency
+  hits on pre-generated speeches) are realized inline on the event
+  loop.  Requests needing real work — non-exact subset matching, or
+  comparison/extremum answers computed over the table — are offloaded
+  to a bounded thread-pool executor so one heavy request cannot stall
+  the loop.
+* **Admission control** — at most ``concurrency`` requests are in
+  flight and at most ``max_queue_depth`` may wait; beyond that
+  :meth:`submit` fails fast with :class:`ServiceOverloadedError`
+  (backpressure instead of unbounded queueing).
+* **Background maintenance** — :meth:`request_append` hands appended
+  rows to the :class:`repro.serving.scheduler.MaintenanceScheduler`,
+  which maintains a store clone on its own thread (optionally fanning
+  out over a shared worker pool) and atomically swaps the new snapshot
+  in; serving never pauses.
+* **Metrics** — per-request latency feeds aggregate p50/p95/p99, qps,
+  hit rate and offload counts (:class:`ServiceMetrics`).
+
+The engine's session state is untouched while serving, and after every
+snapshot swap the engine re-derives its table-bound components
+(:meth:`VoiceQueryEngine.adopt_table` on the maintenance thread), so
+dimension values introduced by appended rows parse correctly against
+the new snapshot.  On :meth:`stop` the engine additionally adopts the
+final snapshot's store (:meth:`VoiceQueryEngine.swap_store`), so a
+quiesced engine afterwards answers exactly like the service did and a
+new service built on it continues from consistent state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.relational.table import Table
+from repro.serving.scheduler import MaintenanceScheduler
+from repro.serving.snapshots import SnapshotRegistry, StoreSnapshot
+from repro.system.classification import RequestType
+from repro.system.engine import ResponseKind, VoiceQueryEngine, VoiceResponse
+from repro.system.nlq import ParsedRequest
+from repro.system.updates import IncrementalMaintainer
+from repro.system.worker_pool import WorkerPool
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised by :meth:`VoiceService.submit` when the queue is full."""
+
+
+#: Latency samples kept for percentile estimation; older samples roll
+#: off so a long-lived service reports recent tail behavior.
+DEFAULT_LATENCY_WINDOW = 100_000
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate serving metrics (counters plus a latency window)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    offloaded: int = 0
+    inline: int = 0
+    exact_hits: int = 0
+    responses_by_kind: dict[str, int] = field(default_factory=dict)
+    latency_window: int = DEFAULT_LATENCY_WINDOW
+    _latencies: list[float] = field(default_factory=list)
+    _started_at: float = field(default_factory=time.perf_counter)
+
+    def reset(self) -> None:
+        """Zero all counters and restart the qps clock."""
+        self.submitted = self.completed = self.rejected = self.errors = 0
+        self.offloaded = self.inline = self.exact_hits = 0
+        self.responses_by_kind.clear()
+        self._latencies.clear()
+        self._started_at = time.perf_counter()
+
+    def observe(self, response: VoiceResponse, latency: float, offloaded: bool) -> None:
+        """Record one completed request."""
+        self.completed += 1
+        kind = response.kind.value
+        self.responses_by_kind[kind] = self.responses_by_kind.get(kind, 0) + 1
+        if offloaded:
+            self.offloaded += 1
+        else:
+            self.inline += 1
+        if response.kind is ResponseKind.SPEECH and response.exact_match:
+            self.exact_hits += 1
+        self._latencies.append(latency)
+        if len(self._latencies) > self.latency_window:
+            del self._latencies[: len(self._latencies) - self.latency_window]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Seconds since construction or the last :meth:`reset`."""
+        return time.perf_counter() - self._started_at
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second since the last reset."""
+        elapsed = self.elapsed_seconds
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of answered data queries served from a stored speech."""
+        hits = self.responses_by_kind.get(ResponseKind.SPEECH.value, 0)
+        misses = self.responses_by_kind.get(ResponseKind.NO_DATA.value, 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile (seconds) over the window."""
+        return self._percentile(sorted(self._latencies), fraction)
+
+    @staticmethod
+    def _percentile(ordered: list[float], fraction: float) -> float:
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """All aggregate metrics as one JSON-friendly dict."""
+        ordered = sorted(self._latencies)
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "inline": self.inline,
+            "offloaded": self.offloaded,
+            "exact_hits": self.exact_hits,
+            "responses_by_kind": dict(sorted(self.responses_by_kind.items())),
+            "qps": self.qps,
+            "hit_rate": self.hit_rate,
+            "p50_ms": self._percentile(ordered, 0.50) * 1000.0,
+            "p95_ms": self._percentile(ordered, 0.95) * 1000.0,
+            "p99_ms": self._percentile(ordered, 0.99) * 1000.0,
+        }
+
+
+#: Queue sentinel telling a worker task to exit.
+_SHUTDOWN = object()
+
+
+class VoiceService:
+    """Serve a pre-processed voice engine to many concurrent sessions.
+
+    Parameters
+    ----------
+    engine:
+        A (typically pre-processed) :class:`VoiceQueryEngine`.  The
+        service seeds its first snapshot from ``engine.store``.
+    concurrency:
+        Worker tasks answering requests (max in-flight requests).
+    max_queue_depth:
+        Requests allowed to wait for a worker before :meth:`submit`
+        rejects with :class:`ServiceOverloadedError`.
+    executor_workers:
+        Threads in the bounded offload executor (default: half the
+        concurrency, at least 2).
+    pool:
+        Optional shared :class:`WorkerPool` for maintenance jobs'
+        re-summarization fan-out; warmed up during :meth:`start` so the
+        first maintenance pass pays no process start-up mid-traffic.
+    maintenance_workers:
+        Per-job worker count when no shared pool is given.
+    maintainer:
+        Override the :class:`IncrementalMaintainer` (default: built
+        from the engine's config, table, summarizer and realizer).
+
+    Use as an async context manager or call :meth:`start` /
+    :meth:`stop` explicitly, always from one event loop.
+    """
+
+    def __init__(
+        self,
+        engine: VoiceQueryEngine,
+        concurrency: int = 8,
+        max_queue_depth: int = 64,
+        executor_workers: int | None = None,
+        pool: WorkerPool | None = None,
+        maintenance_workers: int = 0,
+        maintainer: IncrementalMaintainer | None = None,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+    ):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        self._engine = engine
+        self._concurrency = int(concurrency)
+        self._max_queue_depth = int(max_queue_depth)
+        self._executor_workers = int(
+            executor_workers
+            if executor_workers is not None
+            else max(2, concurrency // 2)
+        )
+        self._pool = pool
+        self._registry = SnapshotRegistry(engine.store)
+        self._scheduler = MaintenanceScheduler(
+            maintainer
+            or IncrementalMaintainer(
+                engine.config,
+                engine.table,
+                summarizer=engine.summarizer,
+                realizer=engine.realizer,
+            ),
+            self._registry,
+            pool=pool,
+            workers=maintenance_workers,
+            # After every swap the engine re-derives its table-bound
+            # components (parser lexicon, advanced answerers), so
+            # requests naming dimension values introduced by the
+            # appended rows parse correctly against the new snapshot.
+            # Runs on the maintenance thread; adopt_table only swaps
+            # whole attributes, which loop-side readers load atomically.
+            on_swap=engine.adopt_table,
+        )
+        self._metrics = ServiceMetrics(latency_window=latency_window)
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> VoiceQueryEngine:
+        """The wrapped engine."""
+        return self._engine
+
+    @property
+    def registry(self) -> SnapshotRegistry:
+        """The snapshot registry shared with the scheduler."""
+        return self._registry
+
+    @property
+    def scheduler(self) -> MaintenanceScheduler:
+        """The background maintenance scheduler."""
+        return self._scheduler
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Aggregate serving metrics."""
+        return self._metrics
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "VoiceService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        """Start the request loop and the maintenance scheduler."""
+        if self._running:
+            raise RuntimeError("service already started")
+        if self._pool is not None:
+            self._pool.warm_up()
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_workers, thread_name_prefix="voice-serving"
+        )
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker(), name=f"voice-service-worker-{index}")
+            for index in range(self._concurrency)
+        ]
+        self._scheduler.start()
+        self._running = True
+
+    async def stop(self, drain_maintenance: bool = True) -> None:
+        """Drain queued requests, stop workers and the scheduler.
+
+        Already-queued requests are still answered; new :meth:`submit`
+        calls fail immediately.  ``drain_maintenance`` is forwarded to
+        :meth:`MaintenanceScheduler.stop`.  Finally the engine adopts
+        the last published snapshot, so quiesced ``engine.ask`` calls
+        afterwards see every maintained speech.
+        """
+        if not self._running:
+            return
+        self._running = False
+        for _ in self._workers:
+            self._queue.put_nowait(_SHUTDOWN)
+        await asyncio.gather(*self._workers)
+        self._workers = []
+        await self._scheduler.stop(drain=drain_maintenance)
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        self._queue = None
+        self._engine.swap_store(self._registry.current.store)
+        if self._scheduler.table is not self._engine.table:
+            # Safety net: the on_swap hook normally keeps the engine's
+            # table current; catch any path that bypassed it.
+            self._engine.adopt_table(self._scheduler.table)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def submit(self, text: str) -> VoiceResponse:
+        """Answer one voice request; resolves when the response is ready.
+
+        Raises :class:`ServiceOverloadedError` when ``max_queue_depth``
+        requests are already waiting (admission control) and
+        ``RuntimeError`` when the service is not running.
+        """
+        if not self._running:
+            raise RuntimeError("service is not running")
+        if self._queue.qsize() >= self._max_queue_depth:
+            self._metrics.rejected += 1
+            raise ServiceOverloadedError(
+                f"request queue is full ({self._max_queue_depth} waiting)"
+            )
+        self._metrics.submitted += 1
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((text, future, time.perf_counter()))
+        return await future
+
+    def request_append(self, new_rows: Table) -> None:
+        """Queue appended rows for background maintenance (no pause)."""
+        self._scheduler.request_append(new_rows)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            text, future, submitted_at = item
+            try:
+                response, offloaded = await self._answer(text)
+                response.latency_seconds = time.perf_counter() - submitted_at
+                self._metrics.observe(response, response.latency_seconds, offloaded)
+                if not future.cancelled():
+                    future.set_result(response)
+            except Exception as exc:
+                self._metrics.errors += 1
+                if not future.cancelled():
+                    future.set_exception(exc)
+
+    async def _answer(self, text: str) -> tuple[VoiceResponse, bool]:
+        """Answer one request against the snapshot pinned at dispatch."""
+        snapshot = self._registry.current
+        parsed, request_type = self._engine.parse_and_classify(text)
+        if self._offloads(parsed, request_type, snapshot):
+            response = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                self._respond_offloaded,
+                parsed,
+                request_type,
+                snapshot,
+            )
+            return response, True
+        response = self._engine.respond_to(parsed, request_type, store=snapshot.store)
+        return response, False
+
+    def _respond_offloaded(
+        self,
+        parsed: ParsedRequest,
+        request_type: RequestType,
+        snapshot: StoreSnapshot,
+    ) -> VoiceResponse:
+        return self._engine.respond_to(parsed, request_type, store=snapshot.store)
+
+    def _offloads(
+        self,
+        parsed: ParsedRequest,
+        request_type: RequestType,
+        snapshot: StoreSnapshot,
+    ) -> bool:
+        """Whether a request needs the executor.
+
+        Exact store hits (one dict probe, the paper's near-zero-latency
+        case) and canned help/repeat/unsupported texts stay on the
+        loop.  Realization misses — data queries without an exact
+        pre-generated speech, which fall into subset matching — and
+        unsupported queries that the advanced extension answers by
+        aggregating over the table are real work and go to the bounded
+        executor.
+        """
+        if request_type is RequestType.SUPPORTED_QUERY and parsed.query is not None:
+            return snapshot.exact_match(parsed.query) is None
+        return (
+            request_type is RequestType.UNSUPPORTED_QUERY
+            and self._engine.advanced_enabled
+        )

@@ -1,0 +1,115 @@
+"""Immutable speech-store snapshots with atomic swap.
+
+A serving deployment must answer every request from a *consistent*
+store: a request that starts while maintenance is rewriting speeches
+must never observe a half-applied update.  The speech store itself is
+mutable (that is what makes incremental maintenance cheap), so the
+serving layer never mutates the store it reads.  Instead:
+
+* a :class:`StoreSnapshot` is a versioned, read-only handle over one
+  :class:`repro.system.speech_store.SpeechStore` — by convention nobody
+  writes to a store once it is published in a snapshot;
+* the :class:`SnapshotRegistry` holds the current snapshot and swaps in
+  a new one atomically (a single reference assignment under the GIL,
+  guarded by a lock for version monotonicity), so every reader sees
+  either the old complete store or the new complete store, never a mix;
+* maintenance builds the next store from
+  :meth:`StoreSnapshot.begin_build` — a clone sharing the immutable
+  speech payloads — mutates the clone off to the side, and publishes it
+  via :meth:`SnapshotRegistry.swap`.
+
+Requests pin the snapshot once at admission (``registry.current``) and
+answer entirely from it; in-flight requests keep their pinned snapshot
+across a swap, which is exactly the consistency the property tests
+assert (every response equals the before- or the after-store answer).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.system.queries import DataQuery
+from repro.system.speech_store import MatchResult, SpeechStore, StoredSpeech
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """A versioned read-only view of one speech store.
+
+    Attributes
+    ----------
+    store:
+        The underlying store.  Published snapshots are immutable by
+        contract: all writes go to a :meth:`begin_build` clone.
+    version:
+        Monotonically increasing swap generation (0 = the store the
+        registry started with).
+    created_at:
+        ``time.time()`` when the snapshot was published.
+    """
+
+    store: SpeechStore
+    version: int
+    created_at: float = field(default_factory=time.time)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # Read-only lookup delegates ---------------------------------------
+    def best_match(self, query: DataQuery) -> MatchResult | None:
+        """The most specific stored speech containing the queried subset."""
+        return self.store.best_match(query)
+
+    def exact_match(self, query: DataQuery) -> StoredSpeech | None:
+        """The speech pre-generated for exactly this query, if any."""
+        return self.store.exact_match(query)
+
+    def begin_build(self) -> SpeechStore:
+        """A mutable clone of this snapshot's store for maintenance.
+
+        The clone shares the frozen speech payloads but owns its index
+        structures, so maintaining it never disturbs readers of this
+        snapshot (see :meth:`repro.system.speech_store.SpeechStore.clone`).
+        """
+        return self.store.clone()
+
+
+class SnapshotRegistry:
+    """Holds the current store snapshot and swaps new ones in atomically.
+
+    Readers call :attr:`current` once per request and keep the returned
+    snapshot for the request's whole lifetime; writers build a new store
+    off to the side and publish it with :meth:`swap`.  Reading is
+    lock-free (attribute load of an immutable object); swapping takes a
+    lock only to keep versions monotonic when several writers race
+    (the maintenance scheduler serializes jobs, so in practice the lock
+    is uncontended).
+    """
+
+    def __init__(self, store: SpeechStore):
+        self._lock = threading.Lock()
+        self._current = StoreSnapshot(store=store, version=0)
+
+    @property
+    def current(self) -> StoreSnapshot:
+        """The latest published snapshot (lock-free)."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        """Version of the latest published snapshot."""
+        return self._current.version
+
+    def swap(self, store: SpeechStore) -> StoreSnapshot:
+        """Publish ``store`` as the new current snapshot.
+
+        Returns the new snapshot.  In-flight readers holding the
+        previous snapshot are unaffected; new readers see the new store
+        immediately and completely.
+        """
+        with self._lock:
+            snapshot = StoreSnapshot(store=store, version=self._current.version + 1)
+            self._current = snapshot
+            return snapshot

@@ -5,6 +5,18 @@ a summarization algorithm, the speech store, the natural-language
 parser and the speech realizer into the system the paper deploys on the
 Google Assistant platform: pre-process once, then answer each voice
 request by looking up the most related pre-generated speech.
+
+The request path is split in two layers so the serving service
+(:mod:`repro.serving`) can run many requests concurrently:
+
+* :meth:`VoiceQueryEngine.respond` /
+  :meth:`VoiceQueryEngine.respond_to` — the *stateless* path: parse,
+  classify and answer against an explicit speech store (e.g. an
+  immutable store snapshot), touching no session state, so concurrent
+  callers on different snapshots never interfere;
+* :meth:`VoiceQueryEngine.ask` — the interactive path layered on top:
+  same answering logic plus the session log and repeat-state the
+  single-session deployment analysis uses.
 """
 
 from __future__ import annotations
@@ -135,17 +147,14 @@ class VoiceQueryEngine:
         self._config = config
         self._table = table
         self._realizer = realizer or SpeechRealizer()
-        self._generator = ProblemGenerator(
-            config,
-            table,
-            prior=prior,
-            expectation_model=expectation_model,
-            use_shared_cube=use_shared_cube,
-        )
+        # Construction inputs retained so adopt_table can rebuild the
+        # table-derived components against an updated table.
+        self._prior = prior
+        self._expectation_model = expectation_model
+        self._target_synonyms = target_synonyms
+        self._dimension_synonyms = dimension_synonyms
+        self._use_shared_cube = use_shared_cube
         self._preprocessor = Preprocessor(config, summarizer=summarizer, realizer=self._realizer)
-        self._parser = NaturalLanguageParser(
-            config, table, target_synonyms=target_synonyms, dimension_synonyms=dimension_synonyms
-        )
         self._store = SpeechStore()
         self._report: PreprocessingReport | None = None
         self._last_response: VoiceResponse | None = None
@@ -153,14 +162,31 @@ class VoiceQueryEngine:
         self._advanced_enabled = enable_advanced_queries
         self._comparison_answerer = None
         self._extremum_answerer = None
-        if enable_advanced_queries:
+        self._rebuild_table_components()
+
+    def _rebuild_table_components(self) -> None:
+        """(Re)derive everything built from the current table."""
+        self._generator = ProblemGenerator(
+            self._config,
+            self._table,
+            prior=self._prior,
+            expectation_model=self._expectation_model,
+            use_shared_cube=self._use_shared_cube,
+        )
+        self._parser = NaturalLanguageParser(
+            self._config,
+            self._table,
+            target_synonyms=self._target_synonyms,
+            dimension_synonyms=self._dimension_synonyms,
+        )
+        if self._advanced_enabled:
             from repro.system.advanced import ComparisonAnswerer, ExtremumAnswerer
 
             self._comparison_answerer = ComparisonAnswerer(
-                table, config.dimensions, realizer=self._realizer
+                self._table, self._config.dimensions, realizer=self._realizer
             )
             self._extremum_answerer = ExtremumAnswerer(
-                table, config.dimensions, realizer=self._realizer
+                self._table, self._config.dimensions, realizer=self._realizer
             )
 
     # ------------------------------------------------------------------
@@ -182,6 +208,16 @@ class VoiceQueryEngine:
         return self._store
 
     @property
+    def summarizer(self) -> Summarizer:
+        """The pre-processing algorithm (shared with maintenance)."""
+        return self._preprocessor.summarizer
+
+    @property
+    def realizer(self) -> SpeechRealizer:
+        """The speech realizer (phrasing of targets and dimensions)."""
+        return self._realizer
+
+    @property
     def report(self) -> PreprocessingReport | None:
         """The last pre-processing report (None before preprocessing)."""
         return self._report
@@ -190,6 +226,11 @@ class VoiceQueryEngine:
     def parser(self) -> NaturalLanguageParser:
         """The natural-language parser."""
         return self._parser
+
+    @property
+    def advanced_enabled(self) -> bool:
+        """Whether comparison/extremum requests are answered at run time."""
+        return self._advanced_enabled
 
     @property
     def session_log(self) -> SessionLog:
@@ -242,15 +283,45 @@ class VoiceQueryEngine:
         self._store = store
         return len(store)
 
+    def swap_store(self, store: SpeechStore) -> SpeechStore:
+        """Replace the engine's speech store, returning the previous one.
+
+        The swap is a single reference assignment (atomic under the
+        GIL); requests already answering from the previous store finish
+        against it.  The serving service uses this to adopt the final
+        maintenance snapshot when it stops.
+        """
+        previous, self._store = self._store, store
+        return previous
+
+    def adopt_table(self, table: Table) -> None:
+        """Replace the engine's data table (e.g. after external appends).
+
+        The serving service's maintenance scheduler advances its own
+        table with every append; at service stop the engine must follow
+        so parsing (new dimension values), advanced answers and any
+        future pre-processing see the same data the maintained store
+        was built from.  Rebuilds the problem generator, parser and
+        advanced answerers against the new table.
+        """
+        self._table = table
+        self._rebuild_table_components()
+
     # ------------------------------------------------------------------
     # Run time
     # ------------------------------------------------------------------
     def ask(self, text: str) -> VoiceResponse:
-        """Answer one voice request (a transcript string)."""
+        """Answer one voice request (a transcript string).
+
+        The interactive path: answers exactly like :meth:`respond`
+        against the engine's own store, and additionally records the
+        request in the session log and keeps the repeat-state.
+        """
         start = time.perf_counter()
-        parsed = self._parser.parse(text)
-        request_type = classify_request(parsed, self._config)
-        response = self._respond(parsed, request_type)
+        parsed, request_type = self.parse_and_classify(text)
+        response = self._respond(
+            parsed, request_type, last_response=self._last_response
+        )
         response.latency_seconds = time.perf_counter() - start
         self._log.requests.append(parsed)
         self._log.responses.append(response)
@@ -258,17 +329,67 @@ class VoiceQueryEngine:
             self._last_response = response
         return response
 
-    def answer_query(self, query: DataQuery) -> VoiceResponse:
+    def parse_and_classify(self, text: str) -> tuple[ParsedRequest, RequestType]:
+        """Parse a transcript and classify it (Table III categories).
+
+        Read-only on the engine; the serving service runs this inline
+        on its event loop before deciding where to answer the request.
+        """
+        parsed = self._parser.parse(text)
+        return parsed, classify_request(parsed, self._config)
+
+    def respond(
+        self,
+        text: str,
+        store: SpeechStore | None = None,
+        last_response: VoiceResponse | None = None,
+    ) -> VoiceResponse:
+        """Answer one voice request statelessly.
+
+        Unlike :meth:`ask` this touches no engine state: lookups go to
+        ``store`` (default: the engine's own store — e.g. pass a
+        :class:`repro.serving.snapshots.StoreSnapshot`'s store to answer
+        from a consistent snapshot), the session log is not written and
+        repeat requests replay ``last_response`` (the caller owns any
+        per-session history).  Safe for concurrent callers.
+        """
+        start = time.perf_counter()
+        parsed, request_type = self.parse_and_classify(text)
+        response = self.respond_to(
+            parsed, request_type, store=store, last_response=last_response
+        )
+        response.latency_seconds = time.perf_counter() - start
+        return response
+
+    def respond_to(
+        self,
+        parsed: ParsedRequest,
+        request_type: RequestType,
+        store: SpeechStore | None = None,
+        last_response: VoiceResponse | None = None,
+    ) -> VoiceResponse:
+        """Answer an already parsed and classified request statelessly."""
+        return self._respond(
+            parsed, request_type, store=store, last_response=last_response
+        )
+
+    def answer_query(self, query: DataQuery, store: SpeechStore | None = None) -> VoiceResponse:
         """Answer a structured data query directly (bypassing parsing)."""
         start = time.perf_counter()
-        response = self._lookup(query)
+        response = self._lookup(query, store=store)
         response.latency_seconds = time.perf_counter() - start
         return response
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _respond(self, parsed: ParsedRequest, request_type: RequestType) -> VoiceResponse:
+    def _respond(
+        self,
+        parsed: ParsedRequest,
+        request_type: RequestType,
+        store: SpeechStore | None = None,
+        last_response: VoiceResponse | None = None,
+    ) -> VoiceResponse:
         if request_type is RequestType.HELP:
             return VoiceResponse(
                 kind=ResponseKind.HELP,
@@ -276,12 +397,12 @@ class VoiceQueryEngine:
                 request_type=request_type,
             )
         if request_type is RequestType.REPEAT:
-            text = self._last_response.text if self._last_response else self._help_text()
+            text = last_response.text if last_response else self._help_text()
             return VoiceResponse(
                 kind=ResponseKind.REPEAT, text=text, request_type=request_type
             )
         if request_type is RequestType.SUPPORTED_QUERY and parsed.query is not None:
-            response = self._lookup(parsed.query)
+            response = self._lookup(parsed.query, store=store)
             response.request_type = request_type
             return response
         if request_type is RequestType.UNSUPPORTED_QUERY:
@@ -301,8 +422,9 @@ class VoiceQueryEngine:
             request_type=request_type,
         )
 
-    def _lookup(self, query: DataQuery) -> VoiceResponse:
-        match = self._store.best_match(query)
+    def _lookup(self, query: DataQuery, store: SpeechStore | None = None) -> VoiceResponse:
+        store = store if store is not None else self._store
+        match = store.best_match(query)
         if match is None:
             return VoiceResponse(
                 kind=ResponseKind.NO_DATA,

@@ -8,6 +8,17 @@ column metadata plus optional synonyms.  Its output contract matches
 the original — a target column and a set of equality predicates — and
 it additionally detects the request categories the deployment analysis
 distinguishes (help, repeat, comparisons, extrema, other).
+
+Parsing must stay cheap at serving time — the paper's run-time budget is
+"near zero" (Figure 10) and the serving service parses on the event
+loop — so the parser token-indexes its lexicons at construction time: a
+word token → lexicon phrases map lets :meth:`parse` verify only the
+phrases whose leading token actually occurs in the request, instead of
+regex-probing the full vocabulary per request.  The index is purely a
+candidate filter (every candidate still passes the original
+word-boundary check), so parsed output is identical to the full scan;
+``token_index=False`` keeps the scan path selectable as the parity
+oracle.
 """
 
 from __future__ import annotations
@@ -55,6 +66,11 @@ class ParsedRequest:
     wants_minimum: bool = False
 
 
+#: Word tokens used by the candidate index (mirrors the ``\b`` boundary
+#: semantics of the phrase regexes: a phrase can only match when its
+#: leading word token occurs in the text).
+_WORD_TOKEN = re.compile(r"\w+")
+
 _HELP_PATTERNS = ("help", "what can i ask", "what can you do", "how do i", "instructions")
 _REPEAT_PATTERNS = ("repeat", "say that again", "once more", "come again")
 _COMPARISON_PATTERNS = ("compare", "comparison", " versus ", " vs ", "difference between")
@@ -80,6 +96,12 @@ class NaturalLanguageParser:
     dimension_synonyms:
         Extra phrases that map a *value* to a (dimension, value) pair,
         e.g. ``{"nyc": ("borough", "Manhattan")}``.
+    token_index:
+        When True (the default), :meth:`parse` only verifies lexicon
+        phrases whose leading word token occurs in the request (built
+        once here); False keeps the original full-vocabulary scan.
+        Both produce identical parses — the scan path is the oracle of
+        the parity tests.
     """
 
     def __init__(
@@ -88,12 +110,35 @@ class NaturalLanguageParser:
         table: Table,
         target_synonyms: Mapping[str, Sequence[str]] | None = None,
         dimension_synonyms: Mapping[str, tuple[str, Any]] | None = None,
+        token_index: bool = True,
     ):
         self._config = config
         self._target_lexicon = self._build_target_lexicon(config.targets, target_synonyms)
         self._value_lexicon = self._build_value_lexicon(config.dimensions, table)
         for phrase, (dimension, value) in (dimension_synonyms or {}).items():
             self._value_lexicon[phrase.lower()] = (dimension, value)
+        self._token_index_enabled = bool(token_index)
+        # Phrase lists in the exact order the scan path visits them:
+        # values longest-first (ties by insertion), targets in insertion
+        # order.  The token index stores positions into these lists so
+        # filtered candidates preserve the scan order — and with it the
+        # first-match/containment tie-breaking — exactly.
+        self._ranked_value_phrases = sorted(self._value_lexicon, key=len, reverse=True)
+        self._value_index, self._unindexed_values = self._index_phrases(
+            self._ranked_value_phrases
+        )
+        self._target_phrases = list(self._target_lexicon)
+        self._target_index, self._unindexed_targets = self._index_phrases(
+            self._target_phrases
+        )
+        # Dimension name phrases, precomputed once: (candidate, dimension)
+        # pairs in configuration order, full name before head noun.
+        self._dimension_phrases: list[tuple[str, str]] = []
+        for dimension in config.dimensions:
+            phrase = dimension.replace("_", " ").lower()
+            self._dimension_phrases.append((phrase, dimension))
+            if " " in phrase:
+                self._dimension_phrases.append((phrase.split()[-1], dimension))
 
     # ------------------------------------------------------------------
     # Lexicon construction
@@ -129,6 +174,59 @@ class NaturalLanguageParser:
                 # through dimension_synonyms.
                 lexicon.setdefault(phrase, (dimension, value))
         return lexicon
+
+    @staticmethod
+    def _index_phrases(
+        phrases: Sequence[str],
+    ) -> tuple[dict[str, list[int]], tuple[int, ...]]:
+        """Map leading word token → positions of phrases starting with it.
+
+        Positions index into ``phrases`` (whose order is the scan
+        order).  Phrases without any word token cannot be pre-filtered
+        by tokens and are returned separately as always-candidates.
+        """
+        index: dict[str, list[int]] = {}
+        unindexed: list[int] = []
+        for position, phrase in enumerate(phrases):
+            tokens = _WORD_TOKEN.findall(phrase)
+            if tokens:
+                index.setdefault(tokens[0], []).append(position)
+            else:
+                unindexed.append(position)
+        return index, tuple(unindexed)
+
+    def _candidates(
+        self,
+        text: str,
+        phrases: list[str],
+        index: dict[str, list[int]],
+        unindexed: tuple[int, ...],
+    ) -> list[str]:
+        """Phrases that can possibly match ``text``, in scan order.
+
+        A ``\\b``-anchored phrase match implies the phrase's leading
+        word token occurs as a token of the text, so filtering by the
+        text's token set never drops a true match; sorting the surviving
+        positions restores the scan order exactly.
+        """
+        if not self._token_index_enabled:
+            return phrases
+        positions = set(unindexed)
+        for token in set(_WORD_TOKEN.findall(text)):
+            positions.update(index.get(token, ()))
+        if len(positions) == len(phrases):
+            return phrases
+        return [phrases[position] for position in sorted(positions)]
+
+    def _candidate_value_phrases(self, text: str) -> list[str]:
+        return self._candidates(
+            text, self._ranked_value_phrases, self._value_index, self._unindexed_values
+        )
+
+    def _candidate_target_phrases(self, text: str) -> list[str]:
+        return self._candidates(
+            text, self._target_phrases, self._target_index, self._unindexed_targets
+        )
 
     # ------------------------------------------------------------------
     # Parsing
@@ -191,9 +289,9 @@ class NaturalLanguageParser:
         """The target column whose longest synonym appears in the text."""
         best: str | None = None
         best_length = 0
-        for phrase, target in self._target_lexicon.items():
+        for phrase in self._candidate_target_phrases(text):
             if len(phrase) > best_length and self._phrase_in_text(phrase, text):
-                best = target
+                best = self._target_lexicon[phrase]
                 best_length = len(phrase)
         return best
 
@@ -207,7 +305,7 @@ class NaturalLanguageParser:
         normalised = f" {text.strip().lower()} "
         mentions: list[tuple[str, int]] = []
         matched_phrases: list[str] = []
-        for phrase in sorted(self._value_lexicon, key=len, reverse=True):
+        for phrase in self._candidate_value_phrases(normalised):
             match = re.search(r"\b" + re.escape(phrase) + r"\b", normalised)
             if not match:
                 continue
@@ -219,28 +317,27 @@ class NaturalLanguageParser:
         return [self._value_lexicon[phrase] for phrase, _ in mentions]
 
     def extract_dimension_mention(self, text: str) -> str | None:
-        """A dimension column referenced by name in the text, if any."""
+        """A dimension column referenced by name in the text, if any.
+
+        Candidate phrases (each dimension's full name plus, for
+        multi-word names, its head noun — "region" for "origin region")
+        are precomputed in ``__init__``; the longest matching phrase
+        wins.
+        """
         normalised = f" {text.strip().lower()} "
         best: str | None = None
         best_length = 0
-        for dimension in self._config.dimensions:
-            phrase = dimension.replace("_", " ").lower()
-            candidates = {phrase}
-            # Also accept the head noun of a multi-word dimension name
-            # ("region" for "origin region").
-            if " " in phrase:
-                candidates.add(phrase.split()[-1])
-            for candidate in candidates:
-                if len(candidate) > best_length and self._phrase_in_text(candidate, normalised):
-                    best = dimension
-                    best_length = len(candidate)
+        for candidate, dimension in self._dimension_phrases:
+            if len(candidate) > best_length and self._phrase_in_text(candidate, normalised):
+                best = dimension
+                best_length = len(candidate)
         return best
 
     def _extract_predicates(self, text: str) -> dict[str, Any]:
         """Equality predicates for every dimension value mentioned in the text."""
         predicates: dict[str, Any] = {}
         matched_phrases: list[str] = []
-        for phrase in sorted(self._value_lexicon, key=len, reverse=True):
+        for phrase in self._candidate_value_phrases(text):
             if not self._phrase_in_text(phrase, text):
                 continue
             # Skip phrases fully contained in an already matched longer phrase

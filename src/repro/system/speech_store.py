@@ -109,6 +109,27 @@ class SpeechStore:
         for column, value in stored.query.predicates:
             self._postings.setdefault((target, column, value), []).append(speech_id)
 
+    def clone(self) -> "SpeechStore":
+        """An independent copy sharing the (immutable) stored speeches.
+
+        Mutating the clone — the maintenance scheduler runs
+        :meth:`IncrementalMaintainer.maintain` against a clone while the
+        original keeps serving — never touches this store: the index
+        dicts and id lists are copied, only the frozen
+        :class:`StoredSpeech` payloads are shared.  Ids, insertion order
+        and therefore all tie-breaking carry over exactly, so a clone
+        answers every query identically to its source.
+        """
+        return SpeechStore(
+            _id_of_key=dict(self._id_of_key),
+            _by_id=dict(self._by_id),
+            _by_target={target: list(ids) for target, ids in self._by_target.items()},
+            _postings={key: list(ids) for key, ids in self._postings.items()},
+            _by_target_length={
+                key: list(ids) for key, ids in self._by_target_length.items()
+            },
+        )
+
     def __len__(self) -> int:
         return len(self._by_id)
 

@@ -8,12 +8,23 @@ the paper:
 
     "About 80 out of 1000 elder persons identify as visually impaired.
      It is 17 for adults.  It is 3 for teenagers in Manhattan."
+
+Realization is a run-time hot path once pre-processing is fast (a batch
+renders one speech per query; the serving benchmarks render thousands),
+and the rendered fragments repeat heavily: the same subset prefixes,
+scope items, formatted values and whole fact sentences recur across
+speeches.  The realizer therefore memoizes those fragments per instance
+(``fragment_cache=True``, the default).  Every cache key captures all
+inputs of the fragment it stores, so cached output is byte-identical to
+the uncached path (``fragment_cache=False``, kept as the parity
+oracle); caches are capped so a long-lived serving process cannot grow
+them without bound.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
 import math
 
@@ -24,6 +35,13 @@ from repro.system.queries import DataQuery
 def _magnitude(value: float) -> int:
     """Order of magnitude of a non-zero value (floor of log10)."""
     return int(math.floor(math.log10(abs(value))))
+
+
+#: Per-cache entry cap.  Pre-generated speeches draw fragments from a
+#: finite vocabulary, but advanced (comparison/extremum) answers format
+#: arbitrary computed values; beyond the cap new fragments are simply
+#: rendered uncached.
+FRAGMENT_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -60,15 +78,47 @@ class SpeechRealizer:
     dimension_labels:
         Optional per-dimension labels used in scope descriptions
         ("season Winter" instead of "season=Winter").
+    fragment_cache:
+        When True (the default), rendered fragments — target phrasings,
+        scope items, formatted values, subset prefixes and fact
+        sentences — are memoized per instance; False renders everything
+        from scratch (the parity oracle).  Output is byte-identical
+        either way.
     """
 
     def __init__(
         self,
         target_phrasings: Mapping[str, TargetPhrasing] | None = None,
         dimension_labels: Mapping[str, str] | None = None,
+        fragment_cache: bool = True,
     ):
         self._phrasings = dict(target_phrasings or {})
         self._dimension_labels = dict(dimension_labels or {})
+        self._fragment_cache = bool(fragment_cache)
+        # Fragment caches; every key captures the full input of the
+        # fragment it stores.  Excluded from pickling (__getstate__) so
+        # worker-pool context broadcasts stay slim.
+        self._generic_phrasings: dict[str, TargetPhrasing] = {}
+        self._value_fragments: dict[tuple[str, float], str] = {}
+        self._scope_fragments: dict[tuple[str, Any], str] = {}
+        self._prefix_fragments: dict[tuple, str] = {}
+        self._sentence_fragments: dict[tuple, str] = {}
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Caches are rebuilt on demand; shipping them to pool workers
+        # would only bloat the context broadcast.
+        return {
+            "_phrasings": self._phrasings,
+            "_dimension_labels": self._dimension_labels,
+            "_fragment_cache": self._fragment_cache,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(
+            target_phrasings=state["_phrasings"],
+            dimension_labels=state["_dimension_labels"],
+            fragment_cache=state["_fragment_cache"],
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -85,8 +135,14 @@ class SpeechRealizer:
         """The prefix describing the summarized data subset."""
         if not query.predicates:
             return ""
+        key = (query.target, self._assignments_key(query.predicates))
+        cached = self._fragment(self._prefix_fragments, key)
+        if cached is not None:
+            return cached
         parts = [self._scope_item(col, val) for col, val in query.predicates]
-        return f"For {self._join_phrases(parts)}:"
+        prefix = f"For {self._join_phrases(parts)}:"
+        self._remember(self._prefix_fragments, key, prefix)
+        return prefix
 
     def realize_facts(self, target: str, speech: Speech, base_scope: Scope | None = None) -> str:
         """Render the facts of a speech (without the query prefix)."""
@@ -113,13 +169,58 @@ class SpeechRealizer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _assignments_key(items) -> tuple:
+        """Exact cache key for (column, value) assignments.
+
+        Values that compare (and hash) equal can still render
+        differently — ``True`` vs ``1``, ``-0.0`` vs ``0.0`` — so the
+        value's class *and* repr join the key: together they determine
+        the rendered text for the scalar values dimensions carry, while
+        never letting two differently-rendering values share a key.
+        """
+        return tuple(
+            (column, value.__class__, repr(value)) for column, value in items
+        )
+
+    def _fragment(self, cache: dict, key) -> str | None:
+        """A cached fragment, or None (cache disabled or not rendered yet)."""
+        if not self._fragment_cache:
+            return None
+        return cache.get(key)
+
+    def _remember(self, cache: dict, key, fragment) -> None:
+        """Store a rendered fragment, respecting the per-cache cap."""
+        if self._fragment_cache and len(cache) < FRAGMENT_CACHE_LIMIT:
+            cache[key] = fragment
+
     def _phrasing(self, target: str) -> TargetPhrasing:
         phrasing = self._phrasings.get(target)
         if phrasing is not None:
             return phrasing
-        return TargetPhrasing(subject=f"the average {target.replace('_', ' ')}")
+        # The generic phrasing is a pure function of the target name, so
+        # it is cached even with fragment_cache off (it is not rendered
+        # text, and the parity oracle needs the same object semantics).
+        phrasing = self._generic_phrasings.get(target)
+        if phrasing is None:
+            phrasing = TargetPhrasing(subject=f"the average {target.replace('_', ' ')}")
+            if len(self._generic_phrasings) < FRAGMENT_CACHE_LIMIT:
+                self._generic_phrasings[target] = phrasing
+        return phrasing
 
     def _format_value(self, target: str, value: float) -> str:
+        # repr keeps value keys exact: 0.0 and -0.0 compare (and hash)
+        # equal but format differently, so the raw float must not key
+        # the cache.
+        key = (target, repr(value))
+        cached = self._fragment(self._value_fragments, key)
+        if cached is not None:
+            return cached
+        formatted = self._render_value(target, value)
+        self._remember(self._value_fragments, key, formatted)
+        return formatted
+
+    def _render_value(self, target: str, value: float) -> str:
         phrasing = self._phrasing(target)
         scaled = value * phrasing.scale
         decimals = phrasing.decimals
@@ -134,8 +235,14 @@ class SpeechRealizer:
         return f"{formatted}{phrasing.unit}"
 
     def _scope_item(self, column: str, value) -> str:
+        key = (column, value.__class__, repr(value))
+        cached = self._fragment(self._scope_fragments, key)
+        if cached is not None:
+            return cached
         label = self._dimension_labels.get(column, column.replace("_", " "))
-        return f"{label} {value}"
+        item = f"{label} {value}"
+        self._remember(self._scope_fragments, key, item)
+        return item
 
     @staticmethod
     def _join_phrases(parts: list[str]) -> str:
@@ -146,6 +253,27 @@ class SpeechRealizer:
         return ", ".join(parts[:-1]) + " and " + parts[-1]
 
     def _fact_sentence(
+        self,
+        target: str,
+        fact: Fact,
+        base_scope: Scope,
+        leading: bool,
+    ) -> str:
+        key = (
+            target,
+            leading,
+            repr(fact.value),
+            self._assignments_key(fact.scope),
+            self._assignments_key(base_scope),
+        )
+        cached = self._fragment(self._sentence_fragments, key)
+        if cached is not None:
+            return cached
+        sentence = self._render_fact_sentence(target, fact, base_scope, leading)
+        self._remember(self._sentence_fragments, key, sentence)
+        return sentence
+
+    def _render_fact_sentence(
         self,
         target: str,
         fact: Fact,

@@ -114,6 +114,18 @@ class IncrementalMaintainer:
         """The current table (including all applied updates)."""
         return self._table
 
+    def rollback_table(self, table: Table) -> None:
+        """Restore the table after a failed maintenance pass.
+
+        :meth:`maintain` appends the new rows *before* re-summarizing,
+        so a pass that fails midway leaves the table advanced past the
+        speeches that were actually rebuilt.  Callers that can retry or
+        skip a failed batch (the serving scheduler) capture ``table``
+        before the pass and restore it here, keeping the maintainer
+        consistent with the last successfully published store.
+        """
+        self._table = table
+
     # ------------------------------------------------------------------
     # Change analysis
     # ------------------------------------------------------------------

@@ -203,6 +203,18 @@ class WorkerPool:
             pool.terminate()
             pool.join()
 
+    def warm_up(self) -> None:
+        """Spawn the worker processes now instead of on first use.
+
+        The pool is normally lazy, which is right for batch runs but
+        wrong for a serving deployment: there the first maintenance
+        pass would pay process start-up *while requests are in flight*.
+        Calling ``warm_up`` during service start moves that cost ahead
+        of traffic.  No-op for serial pools and when already spawned.
+        """
+        if self.parallel:
+            self._ensure_pool()
+
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
             barrier = multiprocessing.Barrier(self._workers)

@@ -1,0 +1,74 @@
+"""Unit tests for store snapshots and the atomic registry swap."""
+
+from __future__ import annotations
+
+from repro.serving.snapshots import SnapshotRegistry, StoreSnapshot
+from repro.system.queries import DataQuery
+
+from tests.serving.conftest import append_table, make_config
+from repro.system.updates import IncrementalMaintainer
+
+WINTER = DataQuery.create("delay", {"season": "Winter"})
+EAST_WINTER = DataQuery.create("delay", {"region": "East", "season": "Winter"})
+
+
+class TestStoreClone:
+    def test_clone_answers_identically(self, engine):
+        clone = engine.store.clone()
+        for stored in engine.store:
+            original = engine.store.best_match(stored.query)
+            cloned = clone.best_match(stored.query)
+            assert cloned.stored is original.stored
+            assert cloned.exact == original.exact
+            assert cloned.overlap == original.overlap
+
+    def test_mutating_clone_leaves_original_untouched(self, engine):
+        clone = engine.store.clone()
+        before = len(engine.store)
+        maintainer = IncrementalMaintainer(make_config(), engine.table)
+        report = maintainer.maintain(
+            append_table([("East", "Winter", 55.0)]), clone
+        )
+        assert report.rebuilt_speeches > 0
+        assert len(engine.store) == before
+        assert len(clone) > before  # the (East, Winter) pair became summarizable
+        # The original still answers from its own (unmaintained) speeches.
+        original_match = engine.store.best_match(EAST_WINTER)
+        clone_match = clone.best_match(EAST_WINTER)
+        assert not original_match.exact
+        assert clone_match.exact
+
+
+class TestSnapshot:
+    def test_snapshot_delegates_lookups(self, engine):
+        snapshot = StoreSnapshot(store=engine.store, version=0)
+        assert len(snapshot) == len(engine.store)
+        assert snapshot.exact_match(WINTER) is engine.store.exact_match(WINTER)
+        assert snapshot.best_match(WINTER).stored is engine.store.best_match(WINTER).stored
+
+    def test_begin_build_is_independent(self, engine):
+        snapshot = StoreSnapshot(store=engine.store, version=0)
+        build = snapshot.begin_build()
+        assert build is not snapshot.store
+        maintainer = IncrementalMaintainer(make_config(), engine.table)
+        maintainer.maintain(append_table([("East", "Winter", 55.0)]), build)
+        assert len(snapshot) == len(engine.store)
+
+
+class TestRegistry:
+    def test_swap_is_versioned_and_atomic(self, engine):
+        registry = SnapshotRegistry(engine.store)
+        assert registry.version == 0
+        first = registry.current
+        build = first.begin_build()
+        published = registry.swap(build)
+        assert published.version == 1
+        assert registry.current is published
+        assert registry.current.store is build
+        # The old snapshot stays fully usable for in-flight requests.
+        assert first.best_match(WINTER).stored is engine.store.best_match(WINTER).stored
+
+    def test_swaps_accumulate_versions(self, engine):
+        registry = SnapshotRegistry(engine.store)
+        for expected in (1, 2, 3):
+            assert registry.swap(registry.current.begin_build()).version == expected

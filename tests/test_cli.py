@@ -173,3 +173,41 @@ class TestMaintainCommand:
         assert "workers=2, pool=keep" in output
         assert "serial parity verified" in output
         assert store_path.exists()
+
+
+class TestServeCommand:
+    COMMON = [
+        "serve",
+        "--dataset", "flights",
+        "--rows", "160",
+        "--dimensions", "origin_region", "season",
+        "--targets", "cancellation",
+        "--algorithm", "G-B",
+        "--append-rows", "15",
+        "--requests", "40",
+        "--maintain-every", "15",
+        "--concurrency", "4",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--dataset", "flights"])
+        assert args.command == "serve"
+        assert args.requests == 120
+        assert args.concurrency == 8
+        assert args.queue_depth == 64
+        assert args.maintain_every == 40
+        assert args.append_rows == 25
+
+    def test_serve_with_background_maintenance(self, capsys):
+        assert main(self.COMMON) == 0
+        output = capsys.readouterr().out
+        assert "served 40 requests" in output
+        assert "maintenance job 1: completed" in output
+        assert "snapshot v" in output
+        assert "0 errors" in output
+
+    def test_serve_without_maintenance(self, capsys):
+        assert main(self.COMMON[:-4] + ["--maintain-every", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "0 maintenance passes" in output
+        assert "maintenance job" not in output
