@@ -5,19 +5,27 @@ synthesized request stream against the flights dataset and measures
 sustained qps and tail latency (p50/p95/p99) in two phases:
 
 * ``serve_only`` — requests only, no background work;
-* ``serve_with_maintenance`` — the same request stream while held-out
-  rows are appended through the background maintenance scheduler
-  (store-snapshot swaps mid-stream, serving never pauses).
+* ``http`` — the same request stream end-to-end through the public
+  API: an :class:`repro.api.clients.HttpClient` speaking to a
+  :class:`repro.api.http_server.VoiceHttpServer` over real sockets
+  (keep-alive connection pool), so the measured latency prices in
+  envelope encoding and HTTP framing on both sides;
+* ``serve_with_maintenance`` — the in-process request stream while
+  held-out rows are appended through the background maintenance
+  scheduler (store-snapshot swaps mid-stream, serving never pauses).
 
-The run self-verifies the serving contract: no request errors, at
-least one snapshot swap, requests completing *while* maintenance is in
-flight, and — the store-parity check — the post-swap store must be
-byte-identical to running serial ``maintain`` on the exact batches the
-scheduler's jobs consumed, in order.  Any violation exits non-zero.
+The run self-verifies the serving contract: no request errors on any
+phase (HTTP included), at least one snapshot swap, requests completing
+*while* maintenance is in flight, and — the store-parity check — the
+post-swap store must be byte-identical to running serial ``maintain``
+on the exact batches the scheduler's jobs consumed, in order.  Any
+violation exits non-zero.
 
-The gated regression metric is ``throughput_ratio`` (qps with
-maintenance / qps without): the "serving continues" claim, as a
-same-process ratio that is comparatively stable across machines.
+Two regression metrics are gated, both same-process ratios that are
+comparatively stable across machines: ``throughput_ratio`` (qps with
+maintenance / qps without — the "serving continues" claim) and
+``http.throughput_ratio`` (HTTP qps / in-process qps — the "envelope +
+transport layer stays cheap" claim).
 
 Usage::
 
@@ -38,9 +46,11 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.api import HttpClient, ServingConfig, VoiceHttpServer  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.serving import VoiceService  # noqa: E402
 from repro.serving.workload import (  # noqa: E402
+    drive_client,
     drive_requests,
     holdout_split,
     serving_questions,
@@ -51,8 +61,7 @@ from repro.system.engine import VoiceQueryEngine  # noqa: E402
 from repro.system.persistence import store_to_dict  # noqa: E402
 from repro.system.updates import IncrementalMaintainer  # noqa: E402
 
-CONCURRENCY = 8
-QUEUE_DEPTH = 128
+SERVING = ServingConfig(concurrency=8, max_queue_depth=128)
 
 
 def build_engine(rows: int, append_rows: int):
@@ -92,37 +101,50 @@ def run(rows: int, requests: int, append_rows: int, passes: int) -> dict:
         for index, batch in enumerate(batches)
     }
 
+    outstanding = SERVING.max_queue_depth // 2
+
     async def bench():
-        async with VoiceService(
-            engine, concurrency=CONCURRENCY, max_queue_depth=QUEUE_DEPTH
-        ) as service:
+        async with VoiceService(engine, SERVING) as service:
             # Warm-up: populate realizer/parse caches outside measurement.
             await drive_requests(
                 service,
                 questions[: min(64, len(questions))],
-                max_outstanding=QUEUE_DEPTH // 2,
+                max_outstanding=outstanding,
             )
 
             service.metrics.reset()
             start = time.perf_counter()
             serve_only, _ = await drive_requests(
-                service, questions, max_outstanding=QUEUE_DEPTH // 2
+                service, questions, max_outstanding=outstanding
             )
             serve_only["wall_seconds"] = time.perf_counter() - start
+
+            # End-to-end over the public HTTP API: same questions, same
+            # process, but every request crosses envelope encoding, a
+            # real socket and the server's HTTP parsing.
+            service.metrics.reset()
+            async with VoiceHttpServer(service) as server:
+                async with HttpClient(
+                    server.host, server.port, max_connections=SERVING.concurrency
+                ) as client:
+                    http = await drive_client(
+                        client, questions, max_outstanding=outstanding
+                    )
 
             service.metrics.reset()
             start = time.perf_counter()
             with_maintenance, completed_during = await drive_requests(
-                service, questions, append_at, max_outstanding=QUEUE_DEPTH // 2
+                service, questions, append_at, max_outstanding=outstanding
             )
             with_maintenance["wall_seconds"] = time.perf_counter() - start
             jobs = list(service.scheduler.jobs)
             final_store = service.registry.current.store
-        return serve_only, with_maintenance, completed_during, jobs, final_store
+        return serve_only, http, with_maintenance, completed_during, jobs, final_store
 
-    serve_only, with_maintenance, completed_during, jobs, final_store = asyncio.run(
-        bench()
+    serve_only, http, with_maintenance, completed_during, jobs, final_store = (
+        asyncio.run(bench())
     )
+    http["throughput_ratio"] = http["qps"] / serve_only["qps"] if serve_only["qps"] else 0.0
 
     with_maintenance["snapshot_swaps"] = len(
         [job for job in jobs if job.status == "completed"]
@@ -152,10 +174,11 @@ def run(rows: int, requests: int, append_rows: int, passes: int) -> dict:
             "requests": requests,
             "append_rows": append_rows,
             "maintenance_passes": len(batches),
-            "concurrency": CONCURRENCY,
+            "serving_config": SERVING.to_dict(),
             "speeches": len(engine.store),
         },
         "serve_only": serve_only,
+        "http": http,
         "serve_with_maintenance": with_maintenance,
         "throughput_ratio": with_maintenance["qps"] / serve_only["qps"],
         "p99_ratio": (
@@ -180,6 +203,13 @@ def verify(report: dict) -> list[str]:
             problems.append(f"{phase}: {report[phase]['errors']} request errors")
         if report[phase]["rejected"]:
             problems.append(f"{phase}: {report[phase]['rejected']} rejected requests")
+    if report["http"]["errors"]:
+        problems.append(f"http: {report['http']['errors']} client-side request errors")
+    if report["http"]["completed"] != report["workload"]["requests"]:
+        problems.append(
+            f"http: only {report['http']['completed']} of "
+            f"{report['workload']['requests']} requests completed"
+        )
     if maintenance["snapshot_swaps"] < 1:
         problems.append("no maintenance job completed (no snapshot swap)")
     failed = [job for job in maintenance["jobs"] if job["status"] != "completed"]

@@ -1,0 +1,126 @@
+"""Talk to a running voice server over HTTP with :class:`HttpClient`.
+
+Start a server in one terminal::
+
+    PYTHONPATH=src python -m repro.cli serve --dataset flights --rows 300 \
+        --algorithm G-B --http 8931
+
+then run this script in another::
+
+    PYTHONPATH=src python examples/http_client_demo.py --port 8931
+
+The script waits for ``GET /healthz`` to answer (the server pre-processes
+the dataset before it starts listening), then demonstrates the ``/v1``
+contract end to end:
+
+1. a session-scoped data question (``POST /v1/ask`` with a
+   ``session_id``),
+2. a "repeat" on the same session — the answer must be byte-identical
+   to the previous response, exactly like the interactive engine,
+3. a burst of concurrent session-less questions,
+4. ``GET /v1/sessions/<id>`` and ``GET /v1/metrics``.
+
+It exits non-zero if any step misbehaves, which is why CI reuses it as
+the HTTP smoke driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import HttpClient, VoiceApiError, VoiceRequest  # noqa: E402
+
+
+async def wait_for_server(client: HttpClient, timeout: float) -> dict:
+    """Poll /healthz until the server answers (it preprocesses first)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return await client.health()
+        except VoiceApiError:
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(0.25)
+
+
+async def main_async(args: argparse.Namespace) -> int:
+    failures: list[str] = []
+    client = HttpClient(args.host, args.port, max_connections=args.concurrency)
+    health = await wait_for_server(client, args.startup_timeout)
+    print(f"server is up: {health}")
+
+    # 1-2. Session-scoped question, then "repeat" on the same session.
+    session = "demo-session"
+    first = await client.ask(
+        VoiceRequest(text=args.question, session_id=session, request_id="demo-1")
+    )
+    print(f"user : {args.question}")
+    print(f"voice: {first.text}")
+    replay = await client.ask(VoiceRequest(text="repeat", session_id=session))
+    print(f"user : repeat\nvoice: {replay.text}")
+    if replay.text != first.text:
+        failures.append("repeat did not replay the previous answer verbatim")
+
+    # 3. Concurrent session-less burst (all through the pooled client).
+    burst = [
+        client.ask(VoiceRequest(text=args.question, request_id=f"burst-{index}"))
+        for index in range(args.requests)
+    ]
+    responses = await asyncio.gather(*burst, return_exceptions=True)
+    errors = [r for r in responses if isinstance(r, BaseException)]
+    if errors:
+        failures.append(f"{len(errors)}/{args.requests} burst requests failed: {errors[0]!r}")
+    else:
+        print(f"burst: {args.requests} concurrent requests answered")
+
+    # 4. Introspection endpoints.
+    summary = await client.session(session)
+    if summary is None or summary["requests"] < 2:
+        failures.append(f"session endpoint did not report the session: {summary}")
+    else:
+        print(f"session {session!r}: {summary['requests']} requests recorded")
+    if await client.session("never-seen") is not None:
+        failures.append("unknown session id did not 404")
+    metrics = await client.metrics()
+    print(
+        f"metrics: {metrics['completed']} completed, "
+        f"p50 {metrics['p50_ms']:.2f} ms, p95 {metrics['p95_ms']:.2f} ms, "
+        f"{metrics['errors']} errors, snapshot v{metrics['snapshot_version']}"
+    )
+    if metrics["errors"]:
+        failures.append(f"server counted {metrics['errors']} request errors")
+
+    await client.aclose()
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--question", default="what is the delay minutes for Winter",
+        help="transcript for the data question (flights-dataset default)",
+    )
+    parser.add_argument("--requests", type=int, default=32, help="concurrent burst size")
+    parser.add_argument("--concurrency", type=int, default=8, help="client connections")
+    parser.add_argument(
+        "--startup-timeout", type=float, default=120.0, dest="startup_timeout",
+        help="seconds to wait for /healthz while the server pre-processes",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(main_async(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

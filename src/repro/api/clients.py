@@ -1,0 +1,317 @@
+"""Transport-agnostic voice clients: one protocol, two transports.
+
+:class:`VoiceClient` is the contract application code programs against:
+``ask`` a :class:`repro.api.envelopes.VoiceRequest` (or a plain
+transcript string), read ``metrics``/``health``, inspect a ``session``.
+Two implementations ship:
+
+* :class:`InProcessClient` — wraps a running
+  :class:`repro.serving.service.VoiceService` in the same event loop;
+  zero serialization, the fastest possible transport.
+* :class:`HttpClient` — speaks HTTP/1.1 to a
+  :class:`repro.api.http_server.VoiceHttpServer` over a bounded pool of
+  keep-alive connections, using only the standard library's asyncio
+  streams.
+
+Both raise the same exceptions
+(:class:`repro.api.errors.ServiceOverloadedError` for admission-control
+rejects, :class:`repro.api.errors.VoiceApiError` for everything else),
+so swapping transports never changes caller error handling — the
+property the serving benchmark leans on when it drives the identical
+workload through both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Protocol, runtime_checkable
+from urllib.parse import quote
+
+from repro.api.envelopes import (
+    EnvelopeError,
+    VoiceRequest,
+    response_from_dict,
+)
+from repro.api.errors import ServiceOverloadedError, VoiceApiError
+from repro.system.engine import VoiceResponse
+
+#: Bytes allowed in one HTTP response body before the client gives up.
+MAX_RESPONSE_BYTES = 4 * 1024 * 1024
+
+
+def _as_request(request: VoiceRequest | str) -> VoiceRequest:
+    return VoiceRequest(text=request) if isinstance(request, str) else request
+
+
+@runtime_checkable
+class VoiceClient(Protocol):
+    """What every transport must offer (see module docstring)."""
+
+    async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
+        """Answer one voice request."""
+        ...
+
+    async def metrics(self) -> dict[str, Any]:
+        """The service's aggregate metrics summary."""
+        ...
+
+    async def health(self) -> dict[str, Any]:
+        """Liveness information."""
+        ...
+
+    async def session(self, session_id: str) -> dict[str, Any] | None:
+        """A session summary, or None when the session is unknown."""
+        ...
+
+    async def aclose(self) -> None:
+        """Release transport resources."""
+        ...
+
+
+class InProcessClient:
+    """A :class:`VoiceClient` over a service in the same event loop."""
+
+    def __init__(self, service):
+        self._service = service
+
+    async def __aenter__(self) -> "InProcessClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
+        return await self._service.submit(_as_request(request))
+
+    async def metrics(self) -> dict[str, Any]:
+        return self._service.metrics.summary()
+
+    async def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok" if self._service.running else "stopped",
+            "snapshot_version": self._service.registry.version,
+        }
+
+    async def session(self, session_id: str) -> dict[str, Any] | None:
+        return self._service.sessions.describe(session_id)
+
+    async def aclose(self) -> None:
+        """Nothing to release; the caller owns the service lifecycle."""
+
+
+class _Connection:
+    """One keep-alive client connection (reader/writer pair)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class HttpClient:
+    """A :class:`VoiceClient` speaking HTTP/1.1 to a voice server.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address (see
+        :attr:`repro.api.http_server.VoiceHttpServer.port` for the
+        resolved ephemeral port).
+    max_connections:
+        Bound on concurrently open keep-alive connections; ``ask``
+        callers beyond it wait for a connection to free up.
+    timeout:
+        Seconds allowed per request round-trip.
+
+    Connections are pooled and reused across requests (HTTP/1.1
+    keep-alive); a connection the server closed between requests is
+    retried once on a fresh one.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_connections: int = 8,
+        timeout: float = 30.0,
+    ):
+        if max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._limiter = asyncio.Semaphore(max_connections)
+        self._idle: list[_Connection] = []
+        self._closed = False
+
+    async def __aenter__(self) -> "HttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    @property
+    def address(self) -> str:
+        """The server base URL this client talks to."""
+        return f"http://{self._host}:{self._port}"
+
+    # ------------------------------------------------------------------
+    # VoiceClient surface
+    # ------------------------------------------------------------------
+    async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
+        request = _as_request(request)
+        status, payload = await self._request(
+            "POST", "/v1/ask", body=request.to_dict()
+        )
+        if status == 200:
+            try:
+                return response_from_dict(payload)
+            except EnvelopeError as exc:
+                raise VoiceApiError(f"server sent a malformed envelope: {exc}") from exc
+        if status == 503:
+            raise ServiceOverloadedError(
+                str(payload.get("error", "service overloaded")), status=503
+            )
+        raise VoiceApiError(
+            f"POST /v1/ask failed with {status}: {payload.get('error', payload)}",
+            status=status,
+        )
+
+    async def metrics(self) -> dict[str, Any]:
+        return await self._get_json("/v1/metrics")
+
+    async def health(self) -> dict[str, Any]:
+        return await self._get_json("/healthz")
+
+    async def session(self, session_id: str) -> dict[str, Any] | None:
+        # Session ids are arbitrary strings; percent-encode so spaces
+        # or control characters cannot corrupt the request line.
+        path = f"/v1/sessions/{quote(session_id, safe='')}"
+        status, payload = await self._request("GET", path)
+        if status == 404:
+            return None
+        if status != 200:
+            raise VoiceApiError(f"GET {path} failed with {status}", status=status)
+        return payload
+
+    async def aclose(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        while self._idle:
+            self._idle.pop().close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _get_json(self, path: str) -> dict[str, Any]:
+        status, payload = await self._request("GET", path)
+        if status != 200:
+            raise VoiceApiError(f"GET {path} failed with {status}", status=status)
+        return payload
+
+    async def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        if self._closed:
+            raise VoiceApiError("client is closed")
+        async with self._limiter:
+            # A pooled connection may have been closed server-side while
+            # idle; retry exactly once on a fresh connection.
+            for attempt in (0, 1):
+                reused = bool(self._idle)
+                connection = (
+                    self._idle.pop() if self._idle else await self._connect()
+                )
+                try:
+                    result = await asyncio.wait_for(
+                        self._round_trip(connection, method, path, body),
+                        timeout=self._timeout,
+                    )
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    BrokenPipeError,
+                ) as exc:
+                    connection.close()
+                    if reused and attempt == 0:
+                        continue
+                    raise VoiceApiError(f"{method} {path}: connection failed: {exc!r}") from exc
+                except asyncio.TimeoutError as exc:
+                    connection.close()
+                    raise VoiceApiError(
+                        f"{method} {path}: no response within {self._timeout:.0f}s"
+                    ) from exc
+                except BaseException:
+                    # Protocol errors leave the stream in an unknown
+                    # state; never return such a connection to the pool.
+                    connection.close()
+                    raise
+                if self._closed:
+                    connection.close()
+                else:
+                    self._idle.append(connection)
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _connect(self) -> _Connection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port), timeout=self._timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise VoiceApiError(
+                f"cannot connect to {self.address}: {exc!r}"
+            ) from exc
+        return _Connection(reader, writer)
+
+    async def _round_trip(
+        self, connection: _Connection, method: str, path: str, body: dict | None
+    ) -> tuple[int, dict[str, Any]]:
+        encoded = (
+            json.dumps(body, allow_nan=False).encode("utf-8") if body is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "\r\n"
+        )
+        connection.writer.write(head.encode("ascii") + encoded)
+        await connection.writer.drain()
+
+        status_line = await connection.reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise VoiceApiError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        content_length = 0
+        while True:
+            line = await connection.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_RESPONSE_BYTES:
+            raise VoiceApiError(f"response too large ({content_length} bytes)")
+        raw = (
+            await connection.reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise VoiceApiError(f"server sent invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        return status, payload

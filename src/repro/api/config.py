@@ -1,0 +1,96 @@
+"""`ServingConfig`: every serving knob in one validated dataclass.
+
+Before this existed, the serving parameters were scattered kwargs on
+:class:`repro.serving.service.VoiceService`, duplicated as CLI flags
+and re-declared as constants in the serving benchmark.  ``ServingConfig``
+is now the single source: the service consumes it directly, the CLI
+``serve`` command builds one from its flags, and
+``benchmarks/bench_serving_service.py`` constructs its workloads from
+one.
+
+Fields
+------
+concurrency:
+    Service worker tasks = maximum in-flight requests (>= 1).
+max_queue_depth:
+    Requests allowed to wait for a worker before ``submit`` rejects
+    with ``ServiceOverloadedError`` (>= 0; 0 = no waiting room).
+executor_workers:
+    Threads in the bounded offload executor for realization misses and
+    advanced answers; ``None`` picks ``max(2, concurrency // 2)``.
+maintenance_workers:
+    Per-job worker count for background maintenance when no shared
+    :class:`repro.system.worker_pool.WorkerPool` is given (0 = serial).
+latency_window:
+    Latency samples kept for the service's percentile metrics.
+session_capacity:
+    Bound on live sessions in the service's
+    :class:`repro.api.sessions.SessionStore` (LRU-evicted beyond it).
+http_host / http_port:
+    Bind address for the optional :class:`repro.api.http_server.VoiceHttpServer`
+    front-end.  Port 0 binds an ephemeral port (the server reports the
+    real one once started).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+#: Default latency samples kept for percentile estimation (mirrored by
+#: the service; older samples roll off so a long-lived deployment
+#: reports recent tail behavior).
+DEFAULT_LATENCY_WINDOW = 100_000
+
+#: Default bound on live sessions (see ``session_capacity``).
+DEFAULT_SESSION_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Validated configuration for one serving deployment."""
+
+    concurrency: int = 8
+    max_queue_depth: int = 64
+    executor_workers: int | None = None
+    maintenance_workers: int = 0
+    latency_window: int = DEFAULT_LATENCY_WINDOW
+    session_capacity: int = DEFAULT_SESSION_CAPACITY
+    http_host: str = "127.0.0.1"
+    http_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {self.max_queue_depth}")
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ValueError(
+                f"executor_workers must be >= 1 or None, got {self.executor_workers}"
+            )
+        if self.maintenance_workers < 0:
+            raise ValueError(
+                f"maintenance_workers must be >= 0, got {self.maintenance_workers}"
+            )
+        if self.latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+        if self.session_capacity < 1:
+            raise ValueError(f"session_capacity must be >= 1, got {self.session_capacity}")
+        if not (0 <= self.http_port <= 65535):
+            raise ValueError(f"http_port must be in [0, 65535], got {self.http_port}")
+
+    @property
+    def resolved_executor_workers(self) -> int:
+        """The offload-executor size after applying the default rule."""
+        if self.executor_workers is not None:
+            return self.executor_workers
+        return max(2, self.concurrency // 2)
+
+    def replace(self, **overrides: Any) -> "ServingConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The configuration as a JSON-ready dict (for reports/metrics)."""
+        return dataclasses.asdict(self)

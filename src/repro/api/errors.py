@@ -1,0 +1,33 @@
+"""Error types shared by every transport of the public API.
+
+Defined here — below both the serving layer and the transports — so the
+:class:`repro.api.clients.HttpClient` can raise the *same* exception
+types an :class:`repro.api.clients.InProcessClient` caller sees, and
+callers can switch transports without changing their error handling.
+"""
+
+from __future__ import annotations
+
+
+class VoiceApiError(RuntimeError):
+    """A request failed at the API layer (transport, protocol, server).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code when the failure came over HTTP, else None.
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceOverloadedError(VoiceApiError):
+    """The service's admission control rejected the request.
+
+    Raised by :meth:`repro.serving.service.VoiceService.submit` when
+    ``max_queue_depth`` requests are already waiting, and by
+    :class:`repro.api.clients.HttpClient` when the server answered 503
+    — the same backpressure signal on every transport.
+    """

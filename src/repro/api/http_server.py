@@ -1,0 +1,302 @@
+"""The stdlib-asyncio HTTP front-end over the serving service.
+
+:class:`VoiceHttpServer` turns a running
+:class:`repro.serving.service.VoiceService` into a network endpoint
+using nothing beyond ``asyncio.start_server`` — no third-party web
+framework, matching the repo's no-new-dependencies constraint.  It
+speaks enough HTTP/1.1 for real clients: keep-alive connections,
+``Content-Length`` framing, JSON bodies, meaningful status codes.
+
+Endpoints (the ``/v1`` public contract)
+---------------------------------------
+``POST /v1/ask``
+    Body: a :class:`repro.api.envelopes.VoiceRequest` envelope
+    (``{"schema_version": 1, "text": ..., "session_id": ...,
+    "request_id": ...}``).  Answer: the response envelope from
+    :func:`repro.api.envelopes.response_to_dict`, echoing
+    ``request_id``.  ``400`` for malformed envelopes, ``503`` when
+    admission control rejects the request (backpressure), ``500`` for
+    unexpected engine errors.
+``GET /v1/metrics``
+    The service's aggregate metrics summary
+    (:meth:`repro.serving.service.ServiceMetrics.summary`) plus the
+    current snapshot version and live session count.
+``GET /v1/sessions/<id>``
+    Summary of one session (request count, timestamps, last response
+    envelope); ``404`` for unknown or evicted sessions.
+``GET /healthz``
+    Liveness: ``200 {"status": "ok"}`` while the service runs, ``503``
+    once stopped.  (Unversioned by convention, like Kubernetes probes.)
+
+Anything else is ``404``; non-GET/POST methods are ``405``; bodies
+beyond ``MAX_BODY_BYTES`` are ``413``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+from urllib.parse import unquote
+
+from repro.api.envelopes import EnvelopeError, VoiceRequest, response_to_dict
+from repro.api.errors import ServiceOverloadedError
+
+#: Bytes allowed in one request body (voice transcripts are tiny; this
+#: only bounds hostile input).
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class VoiceHttpServer:
+    """Serve a :class:`VoiceService` over HTTP (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        A started :class:`repro.serving.service.VoiceService`; the
+        server forwards ``/v1/ask`` bodies to ``service.submit`` and
+        reads metrics/sessions from the service's accessors.
+    host / port:
+        Bind address; port 0 picks an ephemeral port, readable from
+        :attr:`port` once started.
+
+    Use as an async context manager, or :meth:`start` / :meth:`stop`
+    from the same event loop that runs the service.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self._service = service
+        self._host = host
+        self._requested_port = int(port)
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "VoiceHttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("HTTP server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listening sockets.
+
+        In-flight request handlers finish on their own; the underlying
+        service keeps running (the caller owns its lifecycle).
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._server is not None
+
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 once started)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._requested_port
+
+    @property
+    def address(self) -> str:
+        """The server's base URL."""
+        return f"http://{self._host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body, error = request
+                if error is not None:
+                    # Protocol-level failure (bad framing, over-large
+                    # body): answer it and close — the stream position
+                    # is no longer trustworthy.
+                    self._write_response(writer, *error, keep_alive=False)
+                    await writer.drain()
+                    break
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # StreamReader wraps an over-limit readline in it
+        ):
+            pass  # client went away or sent unframeable bytes mid-request
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes, tuple[int, dict] | None] | None:
+        """Parse one request; None on a cleanly closed connection.
+
+        The last tuple element carries a protocol-level error response
+        ``(status, payload)`` — set for unparseable ``Content-Length``
+        or an over-large body — so transport failures answer cleanly
+        instead of raising in the connection handler.
+        """
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, raw_path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        # Ignore any query string; the /v1 contract carries everything
+        # in the JSON body.
+        path = raw_path.split("?", 1)[0]
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0:
+            error = (400, {"error": "malformed Content-Length header"})
+            return method, path, headers, b"", error
+        if length > MAX_BODY_BYTES:
+            error = (413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"})
+            return method, path, headers, b"", error
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body, None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/v1/ask":
+            if method != "POST":
+                return 405, {"error": "use POST for /v1/ask"}
+            return await self._handle_ask(body)
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET for /v1/metrics"}
+            return 200, self._metrics_payload()
+        if path.startswith("/v1/sessions/"):
+            if method != "GET":
+                return 405, {"error": "use GET for /v1/sessions/<id>"}
+            session_id = unquote(path[len("/v1/sessions/"):])
+            summary = self._service.sessions.describe(session_id)
+            if summary is None:
+                return 404, {"error": f"unknown session {session_id!r}"}
+            return 200, summary
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET for /healthz"}
+            if not self._service.running:
+                return 503, {"status": "stopping"}
+            return 200, {
+                "status": "ok",
+                "snapshot_version": self._service.registry.version,
+            }
+        return 404, {"error": f"no route for {path}"}
+
+    async def _handle_ask(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}
+        try:
+            request = VoiceRequest.from_dict(payload)
+        except EnvelopeError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            response = await self._service.submit(request)
+        except ServiceOverloadedError as exc:
+            return 503, {"error": str(exc)}
+        except RuntimeError as exc:
+            # "service is not running": shutting down under the client.
+            return 503, {"error": str(exc)}
+        except Exception as exc:  # engine bug — answer, don't kill the socket
+            return 500, {"error": f"internal error: {exc!r}"}
+        try:
+            return 200, response_to_dict(response, request_id=request.request_id)
+        except EnvelopeError as exc:
+            # A response that violates its own wire contract is a server
+            # bug; report it as one instead of dropping the connection.
+            return 500, {"error": f"response encoding failed: {exc}"}
+
+    def _metrics_payload(self) -> dict[str, Any]:
+        summary = self._service.metrics.summary()
+        summary["snapshot_version"] = self._service.registry.version
+        summary["sessions"] = len(self._service.sessions)
+        summary["queue_depth"] = self._service.queue_depth
+        return summary
+
+    # ------------------------------------------------------------------
+    # Response writing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            # A payload json can't encode (non-finite metric, stray
+            # object) must still answer — a raised ValueError here would
+            # be swallowed by the framing-error catch and silently drop
+            # the connection.
+            status = 500
+            body = json.dumps({"error": f"response serialization failed: {exc}"}).encode(
+                "utf-8"
+            )
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + body)

@@ -15,7 +15,10 @@ The CLI exposes the three workflows a user of the system goes through:
 * ``repro-voice serve`` — run the asyncio serving service against a
   synthetic request stream: concurrent ``submit`` sessions, background
   maintenance passes on held-out rows (snapshot swaps, no pause), and
-  an aggregate latency/throughput report — the deployment smoke;
+  an aggregate latency/throughput report — the deployment smoke.  With
+  ``--http PORT`` it instead starts the real network front-end
+  (:class:`repro.api.http_server.VoiceHttpServer`, ``POST /v1/ask`` et
+  al.) and serves until SIGINT/SIGTERM, shutting down cleanly;
 * ``repro-voice experiment`` — regenerate one of the paper's tables or
   figures and print its rows.
 
@@ -262,6 +265,20 @@ def command_maintain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serving_config(args: argparse.Namespace):
+    """The one :class:`repro.api.config.ServingConfig` for this command."""
+    from repro.api.config import ServingConfig
+
+    return ServingConfig(
+        concurrency=args.concurrency,
+        max_queue_depth=args.queue_depth,
+        maintenance_workers=args.workers,
+        session_capacity=args.session_capacity,
+        http_host=args.http_host,
+        http_port=args.http if args.http is not None else 0,
+    )
+
+
 def command_serve(args: argparse.Namespace) -> int:
     """Serve a synthetic request stream with concurrent maintenance.
 
@@ -272,6 +289,10 @@ def command_serve(args: argparse.Namespace) -> int:
     pass requested every ``--maintain-every`` submissions).  Exits
     non-zero if any request errors, any maintenance job fails, or the
     service rejected work the driver paced within its queue bounds.
+
+    With ``--http PORT`` the command instead pre-processes the whole
+    dataset and serves the public ``/v1`` HTTP API until SIGINT or
+    SIGTERM (clean shutdown, exit 0) — the deployment entry point.
     """
     import asyncio
 
@@ -283,6 +304,10 @@ def command_serve(args: argparse.Namespace) -> int:
         split_batches,
     )
     from repro.system.engine import VoiceQueryEngine as Engine
+
+    serving_config = _build_serving_config(args)
+    if args.http is not None:
+        return _serve_http(args, serving_config)
 
     dataset = load_dataset(args.dataset, num_rows=args.rows)
     config = _build_config(args, dataset.spec)
@@ -308,13 +333,7 @@ def command_serve(args: argparse.Namespace) -> int:
         append_at.setdefault(position, []).append(batch)
 
     async def drive(pool) -> tuple[dict, list]:
-        async with VoiceService(
-            engine,
-            concurrency=args.concurrency,
-            max_queue_depth=args.queue_depth,
-            pool=pool,
-            maintenance_workers=args.workers,
-        ) as service:
+        async with VoiceService(engine, serving_config, pool=pool) as service:
             questions = serving_questions(engine.store, args.requests)
             summary, _ = await drive_requests(
                 service,
@@ -368,6 +387,60 @@ def command_serve(args: argparse.Namespace) -> int:
         print("ERROR: no maintenance job ran", file=sys.stderr)
         return 1
     return 0
+
+
+def _serve_http(args: argparse.Namespace, serving_config) -> int:
+    """Run the public HTTP front-end until SIGINT/SIGTERM.
+
+    Pre-processes the whole dataset, starts the
+    :class:`repro.serving.service.VoiceService` plus the
+    :class:`repro.api.http_server.VoiceHttpServer` on the configured
+    bind address, prints the resolved listen URL (port 0 picks an
+    ephemeral port), and serves until the first SIGINT or SIGTERM.
+    Shutdown is clean: the listener closes, queued requests drain, and
+    the exit code is 0 unless any request errored.
+    """
+    import asyncio
+    import signal
+
+    from repro.api.http_server import VoiceHttpServer
+    from repro.serving import VoiceService
+
+    engine = _build_engine(args)
+
+    async def run(pool) -> dict:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        async with VoiceService(engine, serving_config, pool=pool) as service:
+            async with VoiceHttpServer(
+                service,
+                host=serving_config.http_host,
+                port=serving_config.http_port,
+            ) as server:
+                print(f"listening on {server.address} (/v1/ask)", flush=True)
+                await stop.wait()
+                print("signal received, shutting down", flush=True)
+            return service.metrics.summary()
+
+    with _pool_scope(args) as pool:
+        report = engine.preprocess(
+            max_problems=args.max_problems, workers=args.workers, pool=pool
+        )
+        print(
+            f"pre-processed {report.speeches_generated} speeches in "
+            f"{report.total_seconds:.2f}s; starting HTTP front-end",
+            flush=True,
+        )
+        summary = asyncio.run(run(pool))
+
+    print(
+        f"served {summary['completed']} requests "
+        f"(p50 {summary['p50_ms']:.2f} ms, p95 {summary['p95_ms']:.2f} ms, "
+        f"{summary['rejected']} rejected, {summary['errors']} errors)"
+    )
+    return 1 if summary["errors"] else 0
 
 
 def command_experiment(args: argparse.Namespace) -> int:
@@ -448,6 +521,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--maintain-every", type=int, default=40, dest="maintain_every",
         help="request a background maintenance pass every N submissions "
         "(0 disables maintenance)",
+    )
+    serve_parser.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the public /v1 HTTP API on this port (0 = ephemeral) "
+        "until SIGINT/SIGTERM instead of driving a synthetic stream",
+    )
+    serve_parser.add_argument(
+        "--http-host", default="127.0.0.1", dest="http_host",
+        help="bind address for --http (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--session-capacity", type=int, default=1024, dest="session_capacity",
+        help="bound on live sessions before LRU eviction",
     )
     serve_parser.set_defaults(handler=command_serve)
 

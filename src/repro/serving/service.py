@@ -3,11 +3,18 @@
 :class:`VoiceService` wraps a pre-processed
 :class:`repro.system.engine.VoiceQueryEngine` as a long-lived service:
 
-* **Request loop** — :meth:`submit` enqueues a transcript;
-  ``concurrency`` worker tasks answer requests concurrently.  Each
-  request pins the current :class:`StoreSnapshot` at dispatch and
-  answers entirely from it, so a maintenance swap mid-request is
-  invisible.
+* **Request loop** — :meth:`submit` enqueues a
+  :class:`repro.api.envelopes.VoiceRequest` (a plain transcript string
+  is accepted as a shim and wrapped); ``concurrency`` worker tasks
+  answer requests concurrently.  Each request pins the current
+  :class:`StoreSnapshot` at dispatch and answers entirely from it, so a
+  maintenance swap mid-request is invisible.
+* **Sessions** — requests carrying a ``session_id`` share repeat-state
+  and a session log through a bounded
+  :class:`repro.api.sessions.SessionStore`, so a "repeat" through the
+  service replays exactly what the interactive engine would for the
+  same history.  Session-less requests never touch the store, keeping
+  the exact-hit fast path free of session overhead.
 * **Inline fast path / bounded offload** — requests the store answers
   with one exact-key probe (the paper's common case: near-zero-latency
   hits on pre-generated speeches) are realized inline on the event
@@ -44,6 +51,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api.config import DEFAULT_LATENCY_WINDOW, ServingConfig
+from repro.api.envelopes import VoiceRequest
+from repro.api.errors import ServiceOverloadedError
+from repro.api.sessions import SessionStore
 from repro.relational.table import Table
 from repro.serving.scheduler import MaintenanceScheduler
 from repro.serving.snapshots import SnapshotRegistry, StoreSnapshot
@@ -54,13 +65,15 @@ from repro.system.updates import IncrementalMaintainer
 from repro.system.worker_pool import WorkerPool
 
 
-class ServiceOverloadedError(RuntimeError):
-    """Raised by :meth:`VoiceService.submit` when the queue is full."""
-
-
-#: Latency samples kept for percentile estimation; older samples roll
-#: off so a long-lived service reports recent tail behavior.
-DEFAULT_LATENCY_WINDOW = 100_000
+# ServiceOverloadedError and DEFAULT_LATENCY_WINDOW are re-exported for
+# back-compat; their canonical definitions live in repro.api (errors
+# and config), below the transports that share them.
+__all__ = [
+    "DEFAULT_LATENCY_WINDOW",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "VoiceService",
+]
 
 
 @dataclass
@@ -164,23 +177,26 @@ class VoiceService:
     engine:
         A (typically pre-processed) :class:`VoiceQueryEngine`.  The
         service seeds its first snapshot from ``engine.store``.
-    concurrency:
-        Worker tasks answering requests (max in-flight requests).
-    max_queue_depth:
-        Requests allowed to wait for a worker before :meth:`submit`
-        rejects with :class:`ServiceOverloadedError`.
-    executor_workers:
-        Threads in the bounded offload executor (default: half the
-        concurrency, at least 2).
+    config:
+        The :class:`repro.api.config.ServingConfig` holding every
+        serving knob (concurrency, queue depth, executor/maintenance
+        workers, latency window, session capacity).  Defaults to
+        ``ServingConfig()``.
     pool:
         Optional shared :class:`WorkerPool` for maintenance jobs'
         re-summarization fan-out; warmed up during :meth:`start` so the
         first maintenance pass pays no process start-up mid-traffic.
-    maintenance_workers:
-        Per-job worker count when no shared pool is given.
     maintainer:
         Override the :class:`IncrementalMaintainer` (default: built
         from the engine's config, table, summarizer and realizer).
+    sessions:
+        Override the per-session state store (default: a fresh
+        :class:`repro.api.sessions.SessionStore` bounded by
+        ``config.session_capacity``).
+    **overrides:
+        Individual :class:`ServingConfig` fields as keyword arguments
+        (``concurrency=4`` etc.), applied on top of ``config`` — the
+        pre-``ServingConfig`` call style keeps working.
 
     Use as an async context manager or call :meth:`start` /
     :meth:`stop` explicitly, always from one event loop.
@@ -189,27 +205,33 @@ class VoiceService:
     def __init__(
         self,
         engine: VoiceQueryEngine,
-        concurrency: int = 8,
-        max_queue_depth: int = 64,
-        executor_workers: int | None = None,
+        config: ServingConfig | None = None,
+        *,
         pool: WorkerPool | None = None,
-        maintenance_workers: int = 0,
         maintainer: IncrementalMaintainer | None = None,
-        latency_window: int = DEFAULT_LATENCY_WINDOW,
+        sessions: SessionStore | None = None,
+        **overrides,
     ):
-        if concurrency < 1:
-            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-        if max_queue_depth < 0:
-            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if config is None:
+            config = ServingConfig()
+        elif not isinstance(config, ServingConfig):
+            # The second positional parameter used to be `concurrency`;
+            # fail loudly at the call site instead of deep inside.
+            raise TypeError(
+                f"config must be a ServingConfig, got {type(config).__name__} "
+                "(pass serving knobs like concurrency as keyword arguments)"
+            )
+        if overrides:
+            config = config.replace(**overrides)
+        self._config = config
         self._engine = engine
-        self._concurrency = int(concurrency)
-        self._max_queue_depth = int(max_queue_depth)
-        self._executor_workers = int(
-            executor_workers
-            if executor_workers is not None
-            else max(2, concurrency // 2)
-        )
+        self._concurrency = config.concurrency
+        self._max_queue_depth = config.max_queue_depth
+        self._executor_workers = config.resolved_executor_workers
         self._pool = pool
+        self._sessions = (
+            sessions if sessions is not None else SessionStore(config.session_capacity)
+        )
         self._registry = SnapshotRegistry(engine.store)
         self._scheduler = MaintenanceScheduler(
             maintainer
@@ -221,7 +243,7 @@ class VoiceService:
             ),
             self._registry,
             pool=pool,
-            workers=maintenance_workers,
+            workers=config.maintenance_workers,
             # After every swap the engine re-derives its table-bound
             # components (parser lexicon, advanced answerers), so
             # requests naming dimension values introduced by the
@@ -230,7 +252,7 @@ class VoiceService:
             # whole attributes, which loop-side readers load atomically.
             on_swap=engine.adopt_table,
         )
-        self._metrics = ServiceMetrics(latency_window=latency_window)
+        self._metrics = ServiceMetrics(latency_window=config.latency_window)
         self._queue: asyncio.Queue | None = None
         self._workers: list[asyncio.Task] = []
         self._executor: ThreadPoolExecutor | None = None
@@ -243,6 +265,16 @@ class VoiceService:
     def engine(self) -> VoiceQueryEngine:
         """The wrapped engine."""
         return self._engine
+
+    @property
+    def config(self) -> ServingConfig:
+        """The resolved serving configuration."""
+        return self._config
+
+    @property
+    def sessions(self) -> SessionStore:
+        """Per-session repeat-state and logs (bounded LRU)."""
+        return self._sessions
 
     @property
     def registry(self) -> SnapshotRegistry:
@@ -326,13 +358,22 @@ class VoiceService:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    async def submit(self, text: str) -> VoiceResponse:
+    async def submit(self, request: VoiceRequest | str) -> VoiceResponse:
         """Answer one voice request; resolves when the response is ready.
+
+        ``request`` is a typed :class:`VoiceRequest` envelope; a plain
+        transcript string is accepted as a shim and answered
+        statelessly (no session).  Requests whose envelope carries a
+        ``session_id`` read and advance that session's repeat-state, so
+        a "repeat" answers with the session's previous response exactly
+        like the interactive engine would.
 
         Raises :class:`ServiceOverloadedError` when ``max_queue_depth``
         requests are already waiting (admission control) and
         ``RuntimeError`` when the service is not running.
         """
+        if isinstance(request, str):
+            request = VoiceRequest(text=request)
         if not self._running:
             raise RuntimeError("service is not running")
         if self._queue.qsize() >= self._max_queue_depth:
@@ -342,7 +383,7 @@ class VoiceService:
             )
         self._metrics.submitted += 1
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((text, future, time.perf_counter()))
+        self._queue.put_nowait((request, future, time.perf_counter()))
         return await future
 
     def request_append(self, new_rows: Table) -> None:
@@ -357,9 +398,9 @@ class VoiceService:
             item = await self._queue.get()
             if item is _SHUTDOWN:
                 return
-            text, future, submitted_at = item
+            request, future, submitted_at = item
             try:
-                response, offloaded = await self._answer(text)
+                response, offloaded = await self._answer(request)
                 response.latency_seconds = time.perf_counter() - submitted_at
                 self._metrics.observe(response, response.latency_seconds, offloaded)
                 if not future.cancelled():
@@ -369,10 +410,18 @@ class VoiceService:
                 if not future.cancelled():
                     future.set_exception(exc)
 
-    async def _answer(self, text: str) -> tuple[VoiceResponse, bool]:
-        """Answer one request against the snapshot pinned at dispatch."""
+    async def _answer(self, request: VoiceRequest) -> tuple[VoiceResponse, bool]:
+        """Answer one request against the snapshot pinned at dispatch.
+
+        Session state is threaded through without taxing the fast path:
+        requests without a ``session_id`` never touch the session
+        store, and requests with one pay two O(1) locked dict
+        operations — a repeat-state read (repeat requests only, which
+        are canned-answer inline work anyway) and the post-answer
+        record.
+        """
         snapshot = self._registry.current
-        parsed, request_type = self._engine.parse_and_classify(text)
+        parsed, request_type = self._engine.parse_and_classify(request.text)
         if self._offloads(parsed, request_type, snapshot):
             response = await asyncio.get_running_loop().run_in_executor(
                 self._executor,
@@ -381,9 +430,18 @@ class VoiceService:
                 request_type,
                 snapshot,
             )
-            return response, True
-        response = self._engine.respond_to(parsed, request_type, store=snapshot.store)
-        return response, False
+            offloaded = True
+        else:
+            last_response = None
+            if request.session_id is not None and request_type is RequestType.REPEAT:
+                last_response = self._sessions.last_response(request.session_id)
+            response = self._engine.respond_to(
+                parsed, request_type, store=snapshot.store, last_response=last_response
+            )
+            offloaded = False
+        if request.session_id is not None:
+            self._sessions.record(request.session_id, parsed, response)
+        return response, offloaded
 
     def _respond_offloaded(
         self,

@@ -103,6 +103,47 @@ class SessionLog:
     responses: list[VoiceResponse] = field(default_factory=list)
 
 
+@dataclass
+class SessionState:
+    """One conversation's repeat-state and history.
+
+    This is the engine's session primitive: :meth:`VoiceQueryEngine.ask`
+    keeps one instance for its interactive session, and the serving
+    layer's :class:`repro.api.sessions.SessionStore` keeps one per
+    ``session_id`` — both observe responses through the same
+    :meth:`observe`, so a "repeat" answered from either path replays
+    exactly the same state.
+
+    ``log_limit`` bounds the kept history (oldest exchanges roll off);
+    the interactive engine keeps it unbounded for deployment analysis,
+    while the serving layer caps it so one hot network session cannot
+    grow memory with request count.  Trimming never affects the
+    repeat-state; ``handled`` keeps the true exchange count.
+    """
+
+    log: SessionLog = field(default_factory=SessionLog)
+    last_response: VoiceResponse | None = None
+    log_limit: int | None = None
+    handled: int = 0
+
+    def observe(self, parsed: ParsedRequest, response: VoiceResponse) -> None:
+        """Record one handled request.
+
+        Every exchange lands in the log; the repeat-state only advances
+        for non-repeat responses ("repeat" twice replays the same
+        answer, matching the deployed assistant).
+        """
+        self.handled += 1
+        self.log.requests.append(parsed)
+        self.log.responses.append(response)
+        if self.log_limit is not None and len(self.log.requests) > self.log_limit:
+            excess = len(self.log.requests) - self.log_limit
+            del self.log.requests[:excess]
+            del self.log.responses[:excess]
+        if response.kind is not ResponseKind.REPEAT:
+            self.last_response = response
+
+
 class VoiceQueryEngine:
     """Answer voice queries with pre-generated speech summaries.
 
@@ -157,8 +198,7 @@ class VoiceQueryEngine:
         self._preprocessor = Preprocessor(config, summarizer=summarizer, realizer=self._realizer)
         self._store = SpeechStore()
         self._report: PreprocessingReport | None = None
-        self._last_response: VoiceResponse | None = None
-        self._log = SessionLog()
+        self._session = SessionState()
         self._advanced_enabled = enable_advanced_queries
         self._comparison_answerer = None
         self._extremum_answerer = None
@@ -235,7 +275,12 @@ class VoiceQueryEngine:
     @property
     def session_log(self) -> SessionLog:
         """Requests and responses handled so far."""
-        return self._log
+        return self._session.log
+
+    @property
+    def session(self) -> SessionState:
+        """The interactive session's repeat-state and history."""
+        return self._session
 
     # ------------------------------------------------------------------
     # Pre-processing
@@ -320,13 +365,10 @@ class VoiceQueryEngine:
         start = time.perf_counter()
         parsed, request_type = self.parse_and_classify(text)
         response = self._respond(
-            parsed, request_type, last_response=self._last_response
+            parsed, request_type, last_response=self._session.last_response
         )
         response.latency_seconds = time.perf_counter() - start
-        self._log.requests.append(parsed)
-        self._log.responses.append(response)
-        if response.kind is not ResponseKind.REPEAT:
-            self._last_response = response
+        self._session.observe(parsed, response)
         return response
 
     def parse_and_classify(self, text: str) -> tuple[ParsedRequest, RequestType]:

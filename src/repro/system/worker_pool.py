@@ -38,6 +38,15 @@ context — a worker stuck inside the barrier cannot pick up a second
 install task, so exactly one lands on each worker.  Chunk tasks carry
 their token and fail loudly on mismatch (only possible for tasks
 abandoned by an early-stopped run, whose results nobody reads).
+
+A run stopped early (``max_problems``, a closed iterator) abandons its
+in-flight chunks; a worker may legitimately stay busy on one for up to
+the chunk timeout — far longer than the broadcast timeout.  The next
+run's broadcast therefore first *drains* the abandoned chunks
+(:meth:`WorkerPool` records them as the streaming iterator shuts down)
+so every worker is at the rendezvous barrier before install tasks are
+submitted; without the drain, a >``broadcast_timeout`` abandoned chunk
+would break the barrier and kill the pool.
 """
 
 from __future__ import annotations
@@ -71,13 +80,15 @@ def _init_worker(barrier) -> None:
     _WORKER_BARRIER = barrier
 
 
-def _install_context(token: int, context: Any) -> int:
+def _install_context(
+    token: int, context: Any, timeout: float = BROADCAST_TIMEOUT_SECONDS
+) -> int:
     """Install one run's context; rendezvous so every worker gets one."""
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = (token, context)
     assert _WORKER_BARRIER is not None, "worker pool not initialized"
     try:
-        _WORKER_BARRIER.wait(BROADCAST_TIMEOUT_SECONDS)
+        _WORKER_BARRIER.wait(timeout)
     except threading.BrokenBarrierError:
         raise RuntimeError(f"context broadcast {token} lost a worker mid-rendezvous") from None
     return token
@@ -110,6 +121,11 @@ class WorkerPool:
         Seconds one chunk may take before the run is aborted (see
         ``CHUNK_TIMEOUT_SECONDS``); raise it for pathologically large
         chunks rather than disabling it.
+    broadcast_timeout:
+        Seconds a context broadcast's rendezvous may take (see
+        ``BROADCAST_TIMEOUT_SECONDS``).  Abandoned in-flight chunks are
+        drained *before* the rendezvous, so this only needs to cover
+        context unpickling, not leftover compute.
 
     The pool is lazy: processes spawn on the first parallel
     :meth:`imap_chunks` call, survive across calls (that is the point),
@@ -124,6 +140,7 @@ class WorkerPool:
         workers: int,
         lookahead: int = 2,
         chunk_timeout: float = CHUNK_TIMEOUT_SECONDS,
+        broadcast_timeout: float = BROADCAST_TIMEOUT_SECONDS,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -131,9 +148,15 @@ class WorkerPool:
             raise ValueError(f"lookahead must be >= 1, got {lookahead}")
         if chunk_timeout <= 0:
             raise ValueError(f"chunk_timeout must be positive, got {chunk_timeout}")
+        if broadcast_timeout <= 0:
+            raise ValueError(f"broadcast_timeout must be positive, got {broadcast_timeout}")
         self._workers = int(workers)
         self._lookahead = int(lookahead)
         self._chunk_timeout = float(chunk_timeout)
+        self._broadcast_timeout = float(broadcast_timeout)
+        # In-flight results abandoned by early-stopped runs; drained
+        # before the next context broadcast (see _drain_abandoned).
+        self._abandoned: deque = deque()
         self._pool: multiprocessing.pool.Pool | None = None
         self._context_token = 0
         self._installed_token: int | None = None
@@ -184,6 +207,9 @@ class WorkerPool:
         pool, self._pool = self._pool, None
         self._installed_token = None
         self._installed_context = None
+        # pool.join() waits for any abandoned chunks to finish; their
+        # results die with the pool either way.
+        self._abandoned.clear()
         if pool is not None:
             pool.close()
             pool.join()
@@ -199,6 +225,7 @@ class WorkerPool:
         pool, self._pool = self._pool, None
         self._installed_token = None
         self._installed_context = None
+        self._abandoned.clear()
         if pool is not None:
             pool.terminate()
             pool.join()
@@ -253,8 +280,7 @@ class WorkerPool:
             for chunk in chunks:
                 yield func(context, chunk)
             return
-        pool = self._ensure_pool()
-        token = self._broadcast(pool, context)
+        pool, token = self._broadcast(context)
         chunk_iterator = iter(chunks)
         pending: deque = deque()
 
@@ -265,45 +291,69 @@ class WorkerPool:
             pending.append(pool.apply_async(_run_chunk, (token, func, chunk)))
             return True
 
-        for _ in range(self._workers * self._lookahead):
-            if not submit_next():
-                break
-        while pending:
-            try:
-                result = pending.popleft().get(self._chunk_timeout)
-            except multiprocessing.TimeoutError:
-                # The worker for this chunk most likely died (Pool drops
-                # such tasks silently); the pool is no longer trustworthy.
-                self.terminate()
-                raise RuntimeError(
-                    f"worker-pool chunk produced no result within "
-                    f"{self._chunk_timeout:.0f}s; a worker may have died"
-                ) from None
-            submit_next()
-            yield result
+        try:
+            for _ in range(self._workers * self._lookahead):
+                if not submit_next():
+                    break
+            while pending:
+                try:
+                    result = pending.popleft().get(self._chunk_timeout)
+                except multiprocessing.TimeoutError:
+                    # The worker for this chunk most likely died (Pool
+                    # drops such tasks silently); the pool is no longer
+                    # trustworthy.  The other pending results die with
+                    # it, so they must not reach the abandoned queue.
+                    pending.clear()
+                    self.terminate()
+                    raise RuntimeError(
+                        f"worker-pool chunk produced no result within "
+                        f"{self._chunk_timeout:.0f}s; a worker may have died"
+                    ) from None
+                submit_next()
+                yield result
+        finally:
+            # An early-stopped run (closed iterator, max_problems cut)
+            # leaves submitted chunks in flight; remember them so the
+            # next broadcast can drain instead of hitting its barrier
+            # while workers are still busy on them.
+            self._abandoned.extend(pending)
+            pending.clear()
 
-    def _broadcast(self, pool: multiprocessing.pool.Pool, context: Any) -> int:
-        """Install ``context`` on every worker; returns its token.
+    def _broadcast(self, context: Any) -> tuple[multiprocessing.pool.Pool, int]:
+        """Install ``context`` on every worker; returns (pool, token).
 
         Re-uses the previous broadcast when the same context object is
         run again (the common case: one engine, many runs).  Identity —
         not equality — is the test, so a mutated-and-resubmitted context
         must be a new object; the callers here always rebuild their
         context tuples per run state, making identity exact.
+
+        Before a real (re)broadcast, chunks abandoned by an
+        early-stopped run are drained: a worker may be busy on one for
+        up to the chunk timeout, and a worker not at the rendezvous
+        barrier within the (much shorter) broadcast timeout would break
+        the barrier and kill the pool.  The returned pool may therefore
+        differ from the one before the call (drain of a dead worker
+        terminates and respawns).
         """
+        pool = self._ensure_pool()
         if self._installed_token is not None and self._installed_context is context:
-            return self._installed_token
+            return pool, self._installed_token
+        if not self._drain_abandoned():
+            # A worker presumably died on an abandoned chunk; the drain
+            # already terminated the pool, so respawn before installing.
+            pool = self._ensure_pool()
         self._context_token += 1
         token = self._context_token
         installs = [
-            pool.apply_async(_install_context, (token, context))
+            pool.apply_async(_install_context, (token, context, self._broadcast_timeout))
             for _ in range(self._workers)
         ]
         try:
             # Slightly longer than the worker-side barrier timeout so a
             # broken barrier reports its own error before we give up.
             for install in installs:
-                install.get(BROADCAST_TIMEOUT_SECONDS + 10.0)
+                install.get(self._broadcast_timeout + 10.0)
         except Exception as exc:
             # A worker died or the rendezvous broke: the pool can no
             # longer be trusted (replacement workers hold no barrier
@@ -312,7 +362,35 @@ class WorkerPool:
             raise RuntimeError(f"worker-pool context broadcast failed: {exc}") from exc
         self._installed_token = token
         self._installed_context = context
-        return token
+        return pool, token
+
+    def _drain_abandoned(self) -> bool:
+        """Await chunks abandoned by early-stopped runs.
+
+        Returns True when every abandoned chunk completed (their
+        results are dropped; a chunk that *failed* is fine — nobody
+        reads it).  Returns False when a chunk never completed within
+        the chunk timeout — the tell-tale of a dead worker — in which
+        case the pool has been terminated and must be respawned.
+
+        Each chunk gets the full per-chunk timeout (the same contract a
+        live run grants it): a healthy pool draining several abandoned
+        near-timeout chunks must not be terminated just because their
+        *sum* exceeds one timeout.  Chunks complete roughly in
+        submission order, so by the time a later ``get`` starts its
+        clock the earlier ones have already finished — the worst case
+        stays near one chunk-time per backlog wave, not per chunk.
+        """
+        while self._abandoned:
+            result = self._abandoned.popleft()
+            try:
+                result.get(self._chunk_timeout)
+            except multiprocessing.TimeoutError:
+                self.terminate()
+                return False
+            except Exception:
+                pass
+        return True
 
 
 #: Unique end-of-iterator marker for :meth:`WorkerPool.imap_chunks`.

@@ -1,0 +1,23 @@
+"""Shared fixtures for the public-API tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.engine import VoiceQueryEngine
+
+from tests.serving.conftest import make_engine
+
+
+@pytest.fixture()
+def engine(example_table) -> VoiceQueryEngine:
+    """A pre-processed engine over the running-example table."""
+    return make_engine(example_table)
+
+
+@pytest.fixture()
+def twin_engine(example_table) -> VoiceQueryEngine:
+    """A second, identically built engine (pre-processing is
+    deterministic, so its store is byte-identical to ``engine``'s) for
+    interactive-replay parity checks."""
+    return make_engine(example_table)

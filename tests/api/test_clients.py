@@ -1,0 +1,214 @@
+"""Session semantics through the public clients, on both transports.
+
+The acceptance bar for the API redesign: a REPEAT request through
+either client replays *byte-identical* text to what the interactive
+:meth:`VoiceQueryEngine.ask` would answer for the same session history,
+sessions evict at the LRU bound, and unknown session ids degrade to the
+stateless answer instead of erroring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import (
+    HttpClient,
+    InProcessClient,
+    ServingConfig,
+    VoiceHttpServer,
+    VoiceRequest,
+)
+from repro.serving import VoiceService
+
+#: A conversation exercising data answers, repeats (including repeated
+#: repeats) and an unparseable utterance, all on one session.
+SCRIPT = [
+    "what is the delay for East",
+    "repeat",
+    "what is the delay for West in Winter",
+    "repeat",
+    "repeat",
+    "tell me something unrelated",
+    "repeat",
+]
+
+
+def interactive_replay(engine, script=SCRIPT) -> list[str]:
+    """What the single-caller interactive engine answers for ``script``."""
+    return [engine.ask(text).text for text in script]
+
+
+async def client_replay(client, session_id: str, script=SCRIPT) -> list[str]:
+    texts = []
+    for text in script:
+        response = await client.ask(VoiceRequest(text=text, session_id=session_id))
+        texts.append(response.text)
+    return texts
+
+
+class TestInProcessClientSessions:
+    def test_repeat_matches_interactive_ask_byte_for_byte(self, engine, twin_engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                return await client_replay(InProcessClient(service), "s1")
+
+        served = asyncio.run(scenario())
+        assert served == interactive_replay(twin_engine)
+
+    def test_sessions_are_isolated_from_each_other(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                client = InProcessClient(service)
+                first = await client.ask(
+                    VoiceRequest(text="what is the delay for East", session_id="a")
+                )
+                await client.ask(
+                    VoiceRequest(text="what is the delay for Winter", session_id="b")
+                )
+                replay = await client.ask(VoiceRequest(text="repeat", session_id="a"))
+                return first, replay
+
+        first, replay = asyncio.run(scenario())
+        assert replay.text == first.text  # b's answer did not leak into a
+
+    def test_unknown_session_repeat_degrades_to_stateless_answer(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                with_session = await service.submit(
+                    VoiceRequest(text="repeat", session_id="fresh-session")
+                )
+                stateless = await service.submit("repeat")
+                return with_session, stateless
+
+        with_session, stateless = asyncio.run(scenario())
+        # Both fall back to the engine's stateless repeat answer (help).
+        assert with_session.text == stateless.text == engine.respond("repeat").text
+
+    def test_sessions_evict_at_the_lru_bound(self, engine):
+        async def scenario():
+            config = ServingConfig(concurrency=2, session_capacity=2)
+            async with VoiceService(engine, config) as service:
+                client = InProcessClient(service)
+                answers = {}
+                for session in ("a", "b", "c"):
+                    answers[session] = await client.ask(
+                        VoiceRequest(
+                            text="what is the delay for East", session_id=session
+                        )
+                    )
+                evicted_replay = await client.ask(
+                    VoiceRequest(text="repeat", session_id="a")
+                )
+                live_replay = await client.ask(
+                    VoiceRequest(text="repeat", session_id="c")
+                )
+                return service, answers, evicted_replay, live_replay
+
+        service, answers, evicted_replay, live_replay = asyncio.run(scenario())
+        assert service.sessions.evicted >= 1
+        # "a" was evicted: repeat degrades to the stateless answer ...
+        assert evicted_replay.text == engine.respond("repeat").text
+        # ... while the still-live "c" replays its real answer.
+        assert live_replay.text == answers["c"].text
+
+    def test_plain_string_submit_shim_stays_stateless(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                await service.submit("what is the delay for East")
+                return await service.submit("repeat"), len(service.sessions)
+
+        replay, live_sessions = asyncio.run(scenario())
+        assert replay.text == engine.respond("repeat").text
+        assert live_sessions == 0  # the shim never creates sessions
+
+
+class TestHttpClientSessions:
+    def test_http_repeat_matches_interactive_ask_byte_for_byte(self, engine, twin_engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=4) as service:
+                async with VoiceHttpServer(service) as server:
+                    async with HttpClient(server.host, server.port) as client:
+                        return await client_replay(client, "http-session")
+
+        served = asyncio.run(scenario())
+        assert served == interactive_replay(twin_engine)
+
+    def test_http_unknown_session_degrades(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                async with VoiceHttpServer(service) as server:
+                    async with HttpClient(server.host, server.port) as client:
+                        return await client.ask(
+                            VoiceRequest(text="repeat", session_id="never-before-seen")
+                        )
+
+        response = asyncio.run(scenario())
+        assert response.text == engine.respond("repeat").text
+
+    def test_transports_answer_identically(self, engine):
+        """The same session history answers the same on both transports."""
+
+        async def scenario():
+            async with VoiceService(engine, concurrency=4) as service:
+                in_process = await client_replay(
+                    InProcessClient(service), "session-in-process"
+                )
+                async with VoiceHttpServer(service) as server:
+                    async with HttpClient(server.host, server.port) as client:
+                        over_http = await client_replay(client, "session-http")
+                return in_process, over_http
+
+        in_process, over_http = asyncio.run(scenario())
+        assert in_process == over_http
+
+    def test_concurrent_http_sessions_keep_their_own_repeat_state(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=4) as service:
+                async with VoiceHttpServer(service) as server:
+                    async with HttpClient(server.host, server.port, max_connections=4) as client:
+
+                        async def converse(session, question):
+                            first = await client.ask(
+                                VoiceRequest(text=question, session_id=session)
+                            )
+                            replay = await client.ask(
+                                VoiceRequest(text="repeat", session_id=session)
+                            )
+                            return first.text, replay.text
+
+                        pairs = await asyncio.gather(
+                            converse("s-east", "what is the delay for East"),
+                            converse("s-west", "what is the delay for West"),
+                            converse("s-winter", "what is the delay for Winter"),
+                        )
+                        return pairs
+
+        for first, replay in asyncio.run(scenario()):
+            assert replay == first
+
+
+class TestClientMetadata:
+    def test_request_id_round_trips_over_http(self, engine):
+        async def scenario():
+            async with VoiceService(engine, concurrency=2) as service:
+                async with VoiceHttpServer(service) as server:
+                    async with HttpClient(server.host, server.port) as client:
+                        status, payload = await client._request(
+                            "POST",
+                            "/v1/ask",
+                            body=VoiceRequest(
+                                text="what is the delay for East",
+                                request_id="corr-42",
+                            ).to_dict(),
+                        )
+                        return status, payload
+
+        status, payload = asyncio.run(scenario())
+        assert status == 200
+        assert payload["request_id"] == "corr-42"
+
+    def test_invalid_client_arguments(self):
+        with pytest.raises(ValueError, match="max_connections"):
+            HttpClient("127.0.0.1", 80, max_connections=0)

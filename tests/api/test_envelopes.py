@@ -1,0 +1,196 @@
+"""Envelope contract tests: lossless JSON round-trips, versioning.
+
+The satellite requirement is byte-level honesty: any
+:class:`VoiceResponse` the engine can produce must survive
+``response_to_dict -> json -> response_from_dict`` unchanged — enums,
+exact predicate value types, floats including ``-0.0`` — and anything
+that would silently corrupt the wire (NaN, unknown schema versions,
+malformed shapes) must fail loudly instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.envelopes import (
+    SCHEMA_VERSION,
+    EnvelopeError,
+    VoiceRequest,
+    query_from_dict,
+    query_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.system.classification import RequestType
+from repro.system.engine import ResponseKind, VoiceResponse
+from repro.system.queries import DataQuery
+
+
+def roundtrip(response: VoiceResponse) -> VoiceResponse:
+    """Encode, push through real JSON text, decode."""
+    wire = json.dumps(response_to_dict(response), allow_nan=False)
+    return response_from_dict(json.loads(wire))
+
+
+# ----------------------------------------------------------------------
+# Strategies covering everything the engine can emit.
+# ----------------------------------------------------------------------
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+predicate_values = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    finite_floats,
+    st.booleans(),
+)
+queries = st.builds(
+    lambda target, predicates: DataQuery.create(target, predicates),
+    st.text(min_size=1, max_size=10),
+    st.dictionaries(st.text(min_size=1, max_size=8), predicate_values, max_size=4),
+)
+responses = st.builds(
+    VoiceResponse,
+    kind=st.sampled_from(list(ResponseKind)),
+    text=st.text(max_size=200),
+    request_type=st.sampled_from(list(RequestType)),
+    query=st.one_of(st.none(), queries),
+    exact_match=st.booleans(),
+    latency_seconds=finite_floats,
+)
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(responses)
+    def test_round_trip_is_lossless(self, response):
+        decoded = roundtrip(response)
+        assert decoded == response
+        # Dataclass equality treats -0.0 == 0.0; re-encoding must also
+        # be byte-identical, which distinguishes signed zeros.
+        assert json.dumps(response_to_dict(decoded), sort_keys=True) == json.dumps(
+            response_to_dict(response), sort_keys=True
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(responses)
+    def test_predicate_value_types_survive(self, response):
+        decoded = roundtrip(response)
+        if response.query is None:
+            assert decoded.query is None
+        else:
+            for (_, original), (_, recovered) in zip(
+                response.query.predicates, decoded.query.predicates
+            ):
+                assert type(recovered) is type(original)
+
+    def test_negative_zero_survives_with_sign(self):
+        response = VoiceResponse(
+            kind=ResponseKind.SPEECH,
+            text="zero",
+            request_type=RequestType.SUPPORTED_QUERY,
+            query=DataQuery.create("delay", {"x": -0.0}),
+            latency_seconds=-0.0,
+        )
+        decoded = roundtrip(response)
+        assert math.copysign(1.0, decoded.latency_seconds) == -1.0
+        assert math.copysign(1.0, decoded.query.predicates[0][1]) == -1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_floats_are_rejected_at_encode_time(self, bad):
+        response = VoiceResponse(
+            kind=ResponseKind.SPEECH,
+            text="x",
+            request_type=RequestType.SUPPORTED_QUERY,
+            latency_seconds=bad,
+        )
+        with pytest.raises(EnvelopeError, match="non-finite"):
+            response_to_dict(response)
+        with_query = VoiceResponse(
+            kind=ResponseKind.SPEECH,
+            text="x",
+            request_type=RequestType.SUPPORTED_QUERY,
+            query=DataQuery.create("delay", {"x": bad}),
+        )
+        with pytest.raises(EnvelopeError, match="non-finite"):
+            response_to_dict(with_query)
+
+    def test_request_id_is_echoed_only_when_given(self):
+        response = VoiceResponse(
+            kind=ResponseKind.HELP, text="h", request_type=RequestType.HELP
+        )
+        assert "request_id" not in response_to_dict(response)
+        assert response_to_dict(response, request_id="r-1")["request_id"] == "r-1"
+
+    def test_unknown_schema_version_is_rejected(self):
+        payload = response_to_dict(
+            VoiceResponse(kind=ResponseKind.HELP, text="h", request_type=RequestType.HELP)
+        )
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(EnvelopeError, match="schema_version"):
+            response_from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("kind"),
+            lambda p: p.update(kind="not-a-kind"),
+            lambda p: p.update(request_type="nope"),
+            lambda p: p.update(query={"target": "t"}),  # missing predicates
+        ],
+    )
+    def test_malformed_payloads_raise_envelope_error(self, mutate):
+        payload = response_to_dict(
+            VoiceResponse(kind=ResponseKind.HELP, text="h", request_type=RequestType.HELP)
+        )
+        mutate(payload)
+        with pytest.raises(EnvelopeError):
+            response_from_dict(payload)
+
+    def test_non_mapping_payload_raises(self):
+        with pytest.raises(EnvelopeError, match="object"):
+            response_from_dict(["not", "a", "dict"])
+
+
+class TestQueryPayloads:
+    @settings(max_examples=100, deadline=None)
+    @given(queries)
+    def test_query_round_trip(self, query):
+        assert query_from_dict(json.loads(json.dumps(query_to_dict(query), allow_nan=False))) == query
+
+    def test_malformed_query_raises(self):
+        with pytest.raises(EnvelopeError):
+            query_from_dict({"predicates": [["a", 1]]})  # no target
+
+
+class TestVoiceRequest:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.text(max_size=100),
+        st.one_of(st.none(), st.text(max_size=30)),
+        st.one_of(st.none(), st.text(max_size=30)),
+    )
+    def test_round_trip(self, text, session_id, request_id):
+        request = VoiceRequest(text=text, session_id=session_id, request_id=request_id)
+        assert VoiceRequest.from_dict(json.loads(json.dumps(request.to_dict()))) == request
+
+    def test_missing_text_rejected(self):
+        with pytest.raises(EnvelopeError, match="text"):
+            VoiceRequest.from_dict({"schema_version": SCHEMA_VERSION})
+
+    def test_non_string_fields_rejected(self):
+        with pytest.raises(EnvelopeError):
+            VoiceRequest(text=42)
+        with pytest.raises(EnvelopeError):
+            VoiceRequest(text="x", session_id=7)
+        with pytest.raises(EnvelopeError):
+            VoiceRequest(text="x", request_id=7)
+
+    def test_version_checked(self):
+        with pytest.raises(EnvelopeError, match="schema_version"):
+            VoiceRequest.from_dict({"text": "hi"})
+        with pytest.raises(EnvelopeError, match="schema_version"):
+            VoiceRequest.from_dict({"schema_version": 99, "text": "hi"})

@@ -213,3 +213,9 @@ class TestMetrics:
         summary = asyncio.run(run())
         assert summary["completed"] == 0
         assert summary["p99_ms"] == 0.0
+
+
+class TestServingConfigConstruction:
+    def test_positional_non_config_second_argument_fails_loudly(self, engine):
+        with pytest.raises(TypeError, match="ServingConfig"):
+            VoiceService(engine, 8)

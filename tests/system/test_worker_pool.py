@@ -9,6 +9,8 @@ summarization stack.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.system.worker_pool import WorkerPool
@@ -17,6 +19,12 @@ from repro.system.worker_pool import WorkerPool
 def scale_chunk(context, chunk):
     """Module-level task (pool workers can only import top-level callables)."""
     return [context["factor"] * value for value in chunk]
+
+
+def sleepy_chunk(context, chunk):
+    """Hold a worker busy for ``chunk`` seconds (broadcast-drain tests)."""
+    time.sleep(chunk)
+    return chunk
 
 
 def chunk_stream(chunks):
@@ -87,6 +95,54 @@ class TestParallelExecution:
             assert next(stream) == [2, 4]
             stream.close()
             assert run_scaled(pool, factor=5) == [[5, 10], [15], [20, 25, 30], [35]]
+
+    def test_abandoned_slow_chunks_do_not_break_next_broadcast(self):
+        """The ROADMAP broadcast-timeout edge, as a regression test.
+
+        A chunk abandoned by an early-stopped run may keep a worker
+        busy far past the broadcast timeout; the next run's context
+        broadcast must drain it instead of breaking the rendezvous
+        barrier (which would terminate and respawn the pool).  The
+        abandoned sleeps are *uneven* (1.0 s vs 2.5 s) so one worker
+        reaches the barrier while the other is still busy well past
+        the 0.5 s broadcast timeout — without the drain, the barrier
+        breaks and the pool respawns (spawn_count == 2).
+        """
+        with WorkerPool(2, broadcast_timeout=0.5) as pool:
+            stream = pool.imap_chunks(
+                {"run": 1}, sleepy_chunk, chunk_stream([0.0, 1.0, 2.5, 0.0])
+            )
+            # Consume one result, so the workers are mid-sleep on the
+            # uneven chunks when the run is abandoned.
+            assert next(stream) == 0.0
+            stream.close()
+            # New context => real re-broadcast, which must survive the
+            # still-busy workers without breaking the barrier.
+            assert run_scaled(pool, factor=5) == [[5, 10], [15], [20, 25, 30], [35]]
+            assert pool.spawn_count == 1
+
+    def test_drain_grants_each_abandoned_chunk_its_own_timeout(self):
+        """A healthy pool must survive draining several near-timeout
+        chunks whose *sum* exceeds one chunk timeout (each chunk's
+        individual runtime is within contract)."""
+        with WorkerPool(2, chunk_timeout=2.0, broadcast_timeout=0.5) as pool:
+            stream = pool.imap_chunks(
+                {"run": 1}, sleepy_chunk, chunk_stream([0.0, 1.2, 1.2, 1.2, 1.2])
+            )
+            assert next(stream) == 0.0
+            stream.close()  # ~4.8 s of abandoned work vs a 2 s chunk timeout
+            assert run_scaled(pool, factor=2) == DOUBLED
+            assert pool.spawn_count == 1
+
+    def test_abandoned_failing_chunks_are_drained_quietly(self):
+        with WorkerPool(2, broadcast_timeout=1.0) as pool:
+            stream = pool.imap_chunks(
+                {"factor": 2}, scale_chunk, chunk_stream([[1], [None], [None], [2]])
+            )
+            assert next(stream) == [2]
+            stream.close()  # abandons chunks whose tasks raise TypeError
+            assert run_scaled(pool, factor=3) == [[3, 6], [9], [12, 15, 18], [21]]
+            assert pool.spawn_count == 1
 
 
 class TestLifecycle:
