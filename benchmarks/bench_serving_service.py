@@ -48,7 +48,9 @@ if str(_SRC) not in sys.path:
 
 from repro.api import HttpClient, ServingConfig, VoiceHttpServer  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
+from repro.reliability import FAILPOINTS  # noqa: E402
 from repro.serving import VoiceService  # noqa: E402
+from repro.system.worker_pool import WorkerPool  # noqa: E402
 from repro.serving.workload import (  # noqa: E402
     drive_client,
     drive_requests,
@@ -62,6 +64,11 @@ from repro.system.persistence import store_to_dict  # noqa: E402
 from repro.system.updates import IncrementalMaintainer  # noqa: E402
 
 SERVING = ServingConfig(concurrency=8, max_queue_depth=128)
+
+#: The fault-recovery phase's chaos: one worker process crash during a
+#: pool-parallel maintenance pass, and one maintenance failure after
+#: the rows were already appended (exercising rollback + retry).
+FAULT_SPECS = ("worker.crash:times=1", "maintain.raise:times=1")
 
 
 def build_engine(rows: int, append_rows: int):
@@ -190,6 +197,86 @@ def run(rows: int, requests: int, append_rows: int, passes: int) -> dict:
     }
 
 
+def run_fault_recovery(rows: int, requests: int, append_rows: int, passes: int) -> dict:
+    """Serve + maintain with injected faults; the recovery contract.
+
+    A full benchmark pass with the :data:`FAULT_SPECS` failpoints armed
+    (fixed seed, so the chaos replays identically): the worker pool
+    loses a process mid-maintenance and the first maintenance attempt
+    fails after appending.  The phase is not regression-gated on
+    throughput — its gates are correctness: zero lost requests, at
+    least one successful retry, and the post-swap store byte-identical
+    to serial maintenance on the *completed* jobs' exact batches.
+    """
+    engine, config, base, held_out = build_engine(rows, append_rows)
+    questions = serving_questions(engine.store, requests)
+    batches = split_batches(held_out, passes)
+    append_at = {
+        (index + 1) * (len(questions) // (len(batches) + 1)): batch
+        for index, batch in enumerate(batches)
+    }
+    serving = SERVING.replace(
+        maintenance_workers=2,  # the crash needs a pool to crash in
+        maintenance_retry_limit=3,
+        maintenance_backoff_base=0.05,
+        maintenance_backoff_cap=0.2,
+    )
+    pool = WorkerPool(2)
+
+    async def bench():
+        async with VoiceService(engine, serving, pool=pool) as service:
+            start = time.perf_counter()
+            summary, completed_during = await drive_requests(
+                service, questions, append_at,
+                max_outstanding=serving.max_queue_depth // 2,
+            )
+            await service.scheduler.quiesce()  # let the retry land
+            wall = time.perf_counter() - start
+            return (
+                summary, completed_during, wall,
+                list(service.scheduler.jobs), service.reliability(),
+                service.registry.current.store,
+            )
+
+    try:
+        # Armed only for the serving run — pre-processing above was
+        # fault-free, like the no-fault phases it is compared against.
+        with FAILPOINTS.active(FAULT_SPECS, seed=0):
+            summary, completed_during, wall, jobs, reliability, final_store = (
+                asyncio.run(bench())
+            )
+            fired = FAILPOINTS.report()
+    finally:
+        pool.close()
+
+    completed_jobs = [job for job in jobs if job.status == "completed"]
+    summary["wall_seconds"] = wall
+    summary["completed_during_maintenance"] = completed_during
+    summary["failpoints"] = fired
+    summary["reliability"] = reliability
+    # Extra time paid to recover: every failed attempt, plus the
+    # retry attempts that finally published.
+    summary["recovery_seconds"] = sum(
+        job.seconds for job in jobs if job.status != "completed" or job.attempt > 1
+    )
+    summary["jobs"] = [
+        {
+            "index": job.index,
+            "status": job.status,
+            "attempt": job.attempt,
+            "rows": job.new_rows.num_rows,
+            "dropped_rows": job.dropped_rows,
+            "seconds": job.seconds,
+        }
+        for job in jobs
+    ]
+    summary["store_parity"] = (
+        json.dumps(store_to_dict(final_store), sort_keys=True)
+        == replay_payload(config, base, completed_jobs)
+    )
+    return summary
+
+
 def verify(report: dict) -> list[str]:
     """Self-checks; any failure makes the run exit non-zero."""
     problems = []
@@ -215,6 +302,29 @@ def verify(report: dict) -> list[str]:
     failed = [job for job in maintenance["jobs"] if job["status"] != "completed"]
     if failed:
         problems.append(f"{len(failed)} maintenance jobs did not complete")
+
+    chaos = report["fault_recovery"]
+    lost = (
+        chaos["errors"]
+        + chaos["rejected"]
+        + (report["workload"]["requests"] - chaos["completed"])
+    )
+    if lost:
+        problems.append(f"fault_recovery: {lost} requests lost under injected faults")
+    if chaos["reliability"]["maintenance_retry_successes"] < 1:
+        problems.append("fault_recovery: no maintenance retry succeeded")
+    if chaos["reliability"]["maintenance_dropped_rows"]:
+        problems.append(
+            f"fault_recovery: {chaos['reliability']['maintenance_dropped_rows']} "
+            "appended rows dropped"
+        )
+    if chaos["reliability"]["worker_respawns"] < 1:
+        problems.append("fault_recovery: the injected worker crash never happened")
+    if not chaos["store_parity"]:
+        problems.append(
+            "fault_recovery: post-recovery store differs from serial maintenance "
+            "on the completed jobs' batches"
+        )
     return problems
 
 
@@ -234,14 +344,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        report = run(rows=300, requests=2000, append_rows=30, passes=2)
+        workload = dict(rows=300, requests=2000, append_rows=30, passes=2)
     else:
-        report = run(
+        workload = dict(
             rows=args.rows,
             requests=args.requests,
             append_rows=args.append_rows,
             passes=args.passes,
         )
+    report = run(**workload)
+    report["fault_recovery"] = run_fault_recovery(**workload)
 
     text = json.dumps(report, indent=2)
     print(text)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Any, Protocol, runtime_checkable
 from urllib.parse import quote
 
@@ -38,6 +39,10 @@ from repro.system.engine import VoiceResponse
 
 #: Bytes allowed in one HTTP response body before the client gives up.
 MAX_RESPONSE_BYTES = 4 * 1024 * 1024
+
+#: Ceiling on a server-sent ``Retry-After`` hint (seconds) — a confused
+#: or hostile intermediary must not park the client for minutes.
+MAX_RETRY_AFTER_SECONDS = 5.0
 
 
 def _as_request(request: VoiceRequest | str) -> VoiceRequest:
@@ -85,13 +90,12 @@ class InProcessClient:
         return await self._service.submit(_as_request(request))
 
     async def metrics(self) -> dict[str, Any]:
-        return self._service.metrics.summary()
+        return self._service.metrics_summary()
 
     async def health(self) -> dict[str, Any]:
-        return {
-            "status": "ok" if self._service.running else "stopped",
-            "snapshot_version": self._service.registry.version,
-        }
+        health = self._service.health()
+        health["snapshot_version"] = self._service.registry.version
+        return health
 
     async def session(self, session_id: str) -> dict[str, Any] | None:
         return self._service.sessions.describe(session_id)
@@ -128,6 +132,18 @@ class HttpClient:
         callers beyond it wait for a connection to free up.
     timeout:
         Seconds allowed per request round-trip.
+    overload_retries:
+        Times :meth:`ask` re-submits after a 503 before surfacing
+        :class:`ServiceOverloadedError`.  A 503 means the request was
+        rejected *before* processing, so re-submitting cannot double-
+        apply anything.  0 disables retrying.
+    retry_backoff:
+        Base of the capped exponential backoff (seconds, with up to 10%
+        deterministic jitter) between 503 retries — used when the
+        server sends no ``Retry-After`` hint; a hint takes precedence
+        (clamped to ``MAX_RETRY_AFTER_SECONDS``).
+    retry_seed:
+        Seed of the jitter RNG, keeping retry pacing reproducible.
 
     Connections are pooled and reused across requests (HTTP/1.1
     keep-alive); a connection the server closed between requests is
@@ -140,12 +156,22 @@ class HttpClient:
         port: int,
         max_connections: int = 8,
         timeout: float = 30.0,
+        overload_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_seed: int = 0,
     ):
         if max_connections < 1:
             raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        if overload_retries < 0:
+            raise ValueError(f"overload_retries must be >= 0, got {overload_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self._host = host
         self._port = int(port)
         self._timeout = float(timeout)
+        self._overload_retries = int(overload_retries)
+        self._retry_backoff = float(retry_backoff)
+        self._jitter = random.Random(retry_seed)
         self._limiter = asyncio.Semaphore(max_connections)
         self._idle: list[_Connection] = []
         self._closed = False
@@ -166,22 +192,40 @@ class HttpClient:
     # ------------------------------------------------------------------
     async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
         request = _as_request(request)
-        status, payload = await self._request(
-            "POST", "/v1/ask", body=request.to_dict()
-        )
-        if status == 200:
-            try:
-                return response_from_dict(payload)
-            except EnvelopeError as exc:
-                raise VoiceApiError(f"server sent a malformed envelope: {exc}") from exc
-        if status == 503:
-            raise ServiceOverloadedError(
-                str(payload.get("error", "service overloaded")), status=503
+        body = request.to_dict()
+        for attempt in range(self._overload_retries + 1):
+            status, payload, retry_after = await self._request(
+                "POST", "/v1/ask", body=body
             )
-        raise VoiceApiError(
-            f"POST /v1/ask failed with {status}: {payload.get('error', payload)}",
-            status=status,
-        )
+            if status == 200:
+                try:
+                    return response_from_dict(payload)
+                except EnvelopeError as exc:
+                    raise VoiceApiError(
+                        f"server sent a malformed envelope: {exc}"
+                    ) from exc
+            if status == 503:
+                # Backpressure: the request was rejected before any
+                # processing, so re-submitting is always safe.  Honor
+                # the server's Retry-After pacing hint when present.
+                if attempt < self._overload_retries:
+                    await asyncio.sleep(self._retry_delay(attempt, retry_after))
+                    continue
+                raise ServiceOverloadedError(
+                    str(payload.get("error", "service overloaded")), status=503
+                )
+            raise VoiceApiError(
+                f"POST /v1/ask failed with {status}: {payload.get('error', payload)}",
+                status=status,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _retry_delay(self, attempt: int, retry_after: float | None) -> float:
+        if retry_after is not None:
+            delay = min(retry_after, MAX_RETRY_AFTER_SECONDS)
+        else:
+            delay = min(1.0, self._retry_backoff * 2**attempt)
+        return delay * (1.0 + 0.1 * self._jitter.random())
 
     async def metrics(self) -> dict[str, Any]:
         return await self._get_json("/v1/metrics")
@@ -193,7 +237,7 @@ class HttpClient:
         # Session ids are arbitrary strings; percent-encode so spaces
         # or control characters cannot corrupt the request line.
         path = f"/v1/sessions/{quote(session_id, safe='')}"
-        status, payload = await self._request("GET", path)
+        status, payload, _ = await self._request("GET", path)
         if status == 404:
             return None
         if status != 200:
@@ -210,14 +254,14 @@ class HttpClient:
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _get_json(self, path: str) -> dict[str, Any]:
-        status, payload = await self._request("GET", path)
+        status, payload, _ = await self._request("GET", path)
         if status != 200:
             raise VoiceApiError(f"GET {path} failed with {status}", status=status)
         return payload
 
     async def _request(
         self, method: str, path: str, body: dict | None = None
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any], float | None]:
         if self._closed:
             raise VoiceApiError("client is closed")
         async with self._limiter:
@@ -272,7 +316,7 @@ class HttpClient:
 
     async def _round_trip(
         self, connection: _Connection, method: str, path: str, body: dict | None
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any], float | None]:
         encoded = (
             json.dumps(body, allow_nan=False).encode("utf-8") if body is not None else b""
         )
@@ -294,13 +338,22 @@ class HttpClient:
             raise VoiceApiError(f"malformed status line {status_line!r}")
         status = int(parts[1])
         content_length = 0
+        retry_after: float | None = None
         while True:
             line = await connection.reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 content_length = int(value.strip())
+            elif name == "retry-after":
+                # Seconds form only (the HTTP-date form is not worth a
+                # parser here); ignore anything unparseable.
+                try:
+                    retry_after = max(0.0, float(value.strip()))
+                except ValueError:
+                    pass
         if content_length > MAX_RESPONSE_BYTES:
             raise VoiceApiError(f"response too large ({content_length} bytes)")
         raw = (
@@ -311,7 +364,19 @@ class HttpClient:
         try:
             payload = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
-            raise VoiceApiError(f"server sent invalid JSON: {exc}") from exc
+            if status == 200:
+                # A success response must carry the envelope contract.
+                raise VoiceApiError(f"server sent invalid JSON: {exc}") from exc
+            # Error bodies may come from intermediaries (load balancers,
+            # proxies) that speak plain text or HTML; the status code is
+            # the contract then, not the body.  Degrade to a generic
+            # payload instead of masking the real failure with a parse
+            # error — a plain-text 503 must still read as overload.
+            text = raw.decode("utf-8", errors="replace").strip()
+            payload = {
+                "code": "non_json_body",
+                "error": text[:200] or f"HTTP {status} with non-JSON body",
+            }
         if not isinstance(payload, dict):
             payload = {"value": payload}
-        return status, payload
+        return status, payload, retry_after

@@ -30,11 +30,28 @@ http_host / http_port:
     Bind address for the optional :class:`repro.api.http_server.VoiceHttpServer`
     front-end.  Port 0 binds an ephemeral port (the server reports the
     real one once started).
+default_deadline_ms:
+    Latency budget applied to requests that carry no ``deadline_ms`` of
+    their own; expired requests get a ``timeout``-kind response.
+    ``None`` (default) means no deadline.
+maintenance_retry_limit / maintenance_backoff_base / maintenance_backoff_cap:
+    Retry policy for failed maintenance jobs (see
+    :class:`repro.serving.scheduler.MaintenanceScheduler`): retries per
+    payload and the capped exponential backoff between them.
+breaker_threshold / breaker_cooldown_seconds:
+    Maintenance circuit breaker: consecutive failures before appends
+    are rejected, and how long the breaker stays open before a
+    half-open probe.
+failpoints / failpoint_seed:
+    Deterministic fault-injection specs (see
+    :mod:`repro.reliability.faults`) installed when the service starts.
+    Empty (default) injects nothing and the sites cost a dict probe.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -59,8 +76,18 @@ class ServingConfig:
     session_capacity: int = DEFAULT_SESSION_CAPACITY
     http_host: str = "127.0.0.1"
     http_port: int = 0
+    default_deadline_ms: float | None = None
+    maintenance_retry_limit: int = 3
+    maintenance_backoff_base: float = 0.05
+    maintenance_backoff_cap: float = 2.0
+    breaker_threshold: int = 5
+    breaker_cooldown_seconds: float = 1.0
+    failpoints: tuple = ()
+    failpoint_seed: int = 0
 
     def __post_init__(self) -> None:
+        # Accept any iterable of specs (the CLI hands over a list).
+        object.__setattr__(self, "failpoints", tuple(self.failpoints))
         if self.concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
         if self.max_queue_depth < 0:
@@ -79,6 +106,29 @@ class ServingConfig:
             raise ValueError(f"session_capacity must be >= 1, got {self.session_capacity}")
         if not (0 <= self.http_port <= 65535):
             raise ValueError(f"http_port must be in [0, 65535], got {self.http_port}")
+        if self.default_deadline_ms is not None and (
+            not math.isfinite(self.default_deadline_ms) or self.default_deadline_ms <= 0
+        ):
+            raise ValueError(
+                "default_deadline_ms must be a positive finite number or None, "
+                f"got {self.default_deadline_ms}"
+            )
+        if self.maintenance_retry_limit < 0:
+            raise ValueError(
+                f"maintenance_retry_limit must be >= 0, got {self.maintenance_retry_limit}"
+            )
+        if self.maintenance_backoff_base < 0 or self.maintenance_backoff_cap < 0:
+            raise ValueError("maintenance backoff base/cap must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError(
+                f"breaker_cooldown_seconds must be >= 0, got {self.breaker_cooldown_seconds}"
+            )
+        if not all(isinstance(spec, str) and spec.strip() for spec in self.failpoints):
+            raise ValueError("failpoints must be non-empty spec strings")
 
     @property
     def resolved_executor_workers(self) -> int:

@@ -78,11 +78,20 @@ class VoiceRequest:
     request_id:
         Optional caller-chosen id echoed back in the HTTP response,
         letting a client correlate answers on a multiplexed transport.
+    deadline_ms:
+        Optional per-request latency budget in milliseconds, measured
+        from submission.  A request that cannot be answered within it
+        gets a ``timeout``-kind response instead of queueing
+        indefinitely (see the service's graceful-degradation contract).
+        ``None`` defers to the deployment's default deadline, if any.
+        Optional fields decode as absent on old payloads, so the schema
+        version is unchanged.
     """
 
     text: str
     session_id: str | None = None
     request_id: str | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.text, str):
@@ -91,15 +100,28 @@ class VoiceRequest:
             value = getattr(self, name)
             if value is not None and not isinstance(value, str):
                 raise EnvelopeError(f"request {name} must be a string or null")
+        if self.deadline_ms is not None:
+            if (
+                isinstance(self.deadline_ms, bool)
+                or not isinstance(self.deadline_ms, (int, float))
+                or not math.isfinite(self.deadline_ms)
+                or self.deadline_ms <= 0
+            ):
+                raise EnvelopeError(
+                    "request deadline_ms must be a positive finite number or null"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         """The request as a JSON-ready dict (schema-versioned)."""
-        return {
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "text": self.text,
             "session_id": self.session_id,
             "request_id": self.request_id,
         }
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "VoiceRequest":
@@ -113,6 +135,7 @@ class VoiceRequest:
             text=payload["text"],
             session_id=payload.get("session_id"),
             request_id=payload.get("request_id"),
+            deadline_ms=payload.get("deadline_ms"),
         )
 
 

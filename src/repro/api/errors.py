@@ -31,3 +31,19 @@ class ServiceOverloadedError(VoiceApiError):
     :class:`repro.api.clients.HttpClient` when the server answered 503
     — the same backpressure signal on every transport.
     """
+
+
+class MaintenanceUnavailableError(VoiceApiError):
+    """Appended rows were rejected because maintenance is unavailable.
+
+    Raised by
+    :meth:`repro.serving.scheduler.MaintenanceScheduler.request_append`
+    while its circuit breaker is open: after ``breaker_threshold``
+    consecutive job failures the scheduler stops accepting new appends
+    (each would join a payload that keeps failing) until a cooldown
+    passes and a half-open probe succeeds.  Callers should surface the
+    rejection to the writer rather than drop rows silently.
+    """
+
+    def __init__(self, message: str, status: int | None = 503):
+        super().__init__(message, status=status)

@@ -25,26 +25,43 @@ Endpoints (the ``/v1`` public contract)
     Summary of one session (request count, timestamps, last response
     envelope); ``404`` for unknown or evicted sessions.
 ``GET /healthz``
-    Liveness: ``200 {"status": "ok"}`` while the service runs, ``503``
-    once stopped.  (Unversioned by convention, like Kubernetes probes.)
+    Liveness and readiness: ``200 {"status": "ok"|"degraded", "reasons":
+    [...]}`` while the service answers (degraded = impaired but serving,
+    e.g. the worker pool fell back to serial or the maintenance breaker
+    is open), ``503 {"status": "draining"}`` once it is stopping.
+    (Unversioned by convention, like Kubernetes probes.)
 
 Anything else is ``404``; non-GET/POST methods are ``405``; bodies
 beyond ``MAX_BODY_BYTES`` are ``413``.
+
+Error bodies are machine-readable: every non-200 carries a stable
+``code`` field (e.g. ``overloaded``, ``bad_envelope``, ``internal_error``)
+next to a human-readable ``error``.  Unexpected exception detail goes to
+the server-side log only — ``repr(exc)`` of an engine bug is debugging
+surface for operators, not response surface for clients.  ``503``
+responses carry a ``Retry-After`` hint so well-behaved clients back off.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any
 from urllib.parse import unquote
 
 from repro.api.envelopes import EnvelopeError, VoiceRequest, response_to_dict
 from repro.api.errors import ServiceOverloadedError
+from repro.reliability import faults
 
 #: Bytes allowed in one request body (voice transcripts are tiny; this
 #: only bounds hostile input).
 MAX_BODY_BYTES = 1 * 1024 * 1024
+
+#: Back-off hint (seconds) sent with every 503.
+RETRY_AFTER_SECONDS = 1
+
+logger = logging.getLogger(__name__)
 
 _STATUS_TEXT = {
     200: "OK",
@@ -151,6 +168,10 @@ class VoiceHttpServer:
                     await writer.drain()
                     break
                 status, payload = await self._dispatch(method, path, body)
+                if faults.FAILPOINTS.fires(faults.HTTP_DROP):
+                    # The http.drop failpoint: hang up without writing
+                    # the response, like a crashed proxy would.
+                    break
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 self._write_response(writer, status, payload, keep_alive)
                 await writer.drain()
@@ -198,10 +219,19 @@ class VoiceHttpServer:
         except ValueError:
             length = -1
         if length < 0:
-            error = (400, {"error": "malformed Content-Length header"})
+            error = (
+                400,
+                {"code": "bad_content_length", "error": "malformed Content-Length header"},
+            )
             return method, path, headers, b"", error
         if length > MAX_BODY_BYTES:
-            error = (413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"})
+            error = (
+                413,
+                {
+                    "code": "body_too_large",
+                    "error": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                },
+            )
             return method, path, headers, b"", error
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body, None
@@ -214,58 +244,66 @@ class VoiceHttpServer:
     ) -> tuple[int, dict[str, Any]]:
         if path == "/v1/ask":
             if method != "POST":
-                return 405, {"error": "use POST for /v1/ask"}
+                return 405, {"code": "method_not_allowed", "error": "use POST for /v1/ask"}
             return await self._handle_ask(body)
         if path == "/v1/metrics":
             if method != "GET":
-                return 405, {"error": "use GET for /v1/metrics"}
+                return 405, {"code": "method_not_allowed", "error": "use GET for /v1/metrics"}
             return 200, self._metrics_payload()
         if path.startswith("/v1/sessions/"):
             if method != "GET":
-                return 405, {"error": "use GET for /v1/sessions/<id>"}
+                return 405, {
+                    "code": "method_not_allowed",
+                    "error": "use GET for /v1/sessions/<id>",
+                }
             session_id = unquote(path[len("/v1/sessions/"):])
             summary = self._service.sessions.describe(session_id)
             if summary is None:
-                return 404, {"error": f"unknown session {session_id!r}"}
+                return 404, {"code": "unknown_session", "error": f"unknown session {session_id!r}"}
             return 200, summary
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "use GET for /healthz"}
-            if not self._service.running:
-                return 503, {"status": "stopping"}
-            return 200, {
-                "status": "ok",
-                "snapshot_version": self._service.registry.version,
-            }
-        return 404, {"error": f"no route for {path}"}
+                return 405, {"code": "method_not_allowed", "error": "use GET for /healthz"}
+            health = self._service.health()
+            health["snapshot_version"] = self._service.registry.version
+            # Degraded still answers requests — probes must keep routing
+            # traffic here (200), just with the reasons on display.
+            status = 200 if health["status"] in ("ok", "degraded") else 503
+            return status, health
+        return 404, {"code": "not_found", "error": f"no route for {path}"}
 
     async def _handle_ask(self, body: bytes) -> tuple[int, dict[str, Any]]:
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
-            return 400, {"error": f"request body is not valid JSON: {exc}"}
+            return 400, {"code": "bad_json", "error": f"request body is not valid JSON: {exc}"}
         try:
             request = VoiceRequest.from_dict(payload)
         except EnvelopeError as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"code": "bad_envelope", "error": str(exc)}
         try:
             response = await self._service.submit(request)
         except ServiceOverloadedError as exc:
-            return 503, {"error": str(exc)}
+            return 503, {"code": "overloaded", "error": str(exc)}
         except RuntimeError as exc:
             # "service is not running": shutting down under the client.
-            return 503, {"error": str(exc)}
-        except Exception as exc:  # engine bug — answer, don't kill the socket
-            return 500, {"error": f"internal error: {exc!r}"}
+            return 503, {"code": "draining", "error": str(exc)}
+        except Exception:
+            # Engine bug — answer, don't kill the socket.  The repr
+            # goes to the server log; clients get a stable code, not
+            # internals that leak paths or table contents.
+            logger.exception("unhandled error answering /v1/ask")
+            return 500, {"code": "internal_error", "error": "internal server error"}
         try:
             return 200, response_to_dict(response, request_id=request.request_id)
-        except EnvelopeError as exc:
+        except EnvelopeError:
             # A response that violates its own wire contract is a server
             # bug; report it as one instead of dropping the connection.
-            return 500, {"error": f"response encoding failed: {exc}"}
+            logger.exception("response envelope encoding failed for /v1/ask")
+            return 500, {"code": "encode_failed", "error": "response encoding failed"}
 
     def _metrics_payload(self) -> dict[str, Any]:
-        summary = self._service.metrics.summary()
+        summary = self._service.metrics_summary()
         summary["snapshot_version"] = self._service.registry.version
         summary["sessions"] = len(self._service.sessions)
         summary["queue_depth"] = self._service.queue_depth
@@ -289,13 +327,17 @@ class VoiceHttpServer:
             # be swallowed by the framing-error catch and silently drop
             # the connection.
             status = 500
-            body = json.dumps({"error": f"response serialization failed: {exc}"}).encode(
-                "utf-8"
-            )
+            body = json.dumps(
+                {"code": "encode_failed", "error": f"response serialization failed: {exc}"}
+            ).encode("utf-8")
+        retry_after = (
+            f"Retry-After: {RETRY_AFTER_SECONDS}\r\n" if status == 503 else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )

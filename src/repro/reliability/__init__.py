@@ -1,0 +1,22 @@
+"""Reliability layer: deterministic fault injection for chaos testing.
+
+The serving stack (worker pool, maintenance scheduler, request loop,
+HTTP front-end) recovers from worker crashes, failed maintenance passes,
+slow offloads and dropped connections.  Proving that requires *causing*
+those faults on demand, deterministically, in tests, benchmarks and CI
+smokes — which is what :mod:`repro.reliability.faults` provides.
+"""
+
+from repro.reliability.faults import (
+    FailpointRule,
+    FailpointRegistry,
+    InjectedFault,
+    FAILPOINTS,
+)
+
+__all__ = [
+    "FAILPOINTS",
+    "FailpointRegistry",
+    "FailpointRule",
+    "InjectedFault",
+]

@@ -25,24 +25,55 @@ identical to running ``maintain`` serially on the same job batches in
 the same order — the parity the serving benchmark and property tests
 verify byte-for-byte.
 
+Failures are survived, not just recorded.  A failed job rolls the
+maintainer back (the half-applied append would otherwise corrupt the
+next pass), then its exact coalesced payload is **retried** with capped
+exponential backoff and deterministic jitter, strictly before any
+batches that arrived later — so the sequence of *published* appends is
+the same as a no-fault run.  Only after ``retry_limit`` retries are the
+rows declared lost: the final job records them in ``dropped_rows``
+(previously they vanished silently) and the total is surfaced through
+the service metrics.  A **circuit breaker** opens after
+``breaker_threshold`` consecutive failures: new appends are rejected
+with :class:`repro.api.errors.MaintenanceUnavailableError` until a
+cooldown elapses and a half-open probe job succeeds.
+
 Shutdown is clean mid-job: :meth:`stop` lets the in-flight job finish
 (it owns a half-built clone nobody else sees) and either drains or
-cancels the still-queued batches.
+cancels the still-queued batches.  Draining runs pending retries
+immediately (their backoff wait is skipped, their attempt budget is
+not).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import reduce
 from typing import Sequence
 
+from repro.api.errors import MaintenanceUnavailableError
 from repro.relational.table import Table
+from repro.reliability import faults
 from repro.serving.snapshots import SnapshotRegistry
 from repro.system.updates import IncrementalMaintainer, MaintenanceReport
 from repro.system.worker_pool import WorkerPool
+
+#: Default retries per failed payload (on top of its first attempt).
+DEFAULT_RETRY_LIMIT = 3
+
+#: Default backoff: base * 2**(attempt-1), capped, plus <= 10% jitter.
+DEFAULT_BACKOFF_BASE_SECONDS = 0.05
+DEFAULT_BACKOFF_CAP_SECONDS = 2.0
+
+#: Default consecutive failures before the circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Default seconds the breaker stays open before a half-open probe.
+DEFAULT_BREAKER_COOLDOWN_SECONDS = 1.0
 
 
 @dataclass
@@ -68,6 +99,16 @@ class MaintenanceJob:
         Repr of the exception (failed jobs only).
     seconds:
         Wall-clock time of the job including the snapshot swap.
+    attempt:
+        1 for a payload's first job; retries of the same payload count
+        up from 2 (each attempt is its own job record).
+    dropped_rows:
+        Rows permanently lost with this job — non-zero only on the
+        final failed attempt of a payload whose retries were exhausted
+        (or a retry payload cancelled by ``stop(drain=False)``).
+        Before the retry layer these rows vanished silently in
+        ``rollback_table``; now every lost row is accounted for here
+        and in the service metrics.
     """
 
     index: int
@@ -78,6 +119,8 @@ class MaintenanceJob:
     snapshot_version: int | None = None
     error: str | None = None
     seconds: float = 0.0
+    attempt: int = 1
+    dropped_rows: int = 0
 
 
 class MaintenanceScheduler:
@@ -102,6 +145,20 @@ class MaintenanceScheduler:
         executor thread (it may do O(table) work, e.g. rebuilding a
         parser lexicon) — implementations must restrict themselves to
         atomic attribute swaps visible to the event loop.
+    retry_limit:
+        Retries granted to a failed payload beyond its first attempt
+        before its rows are declared dropped.
+    backoff_base / backoff_cap:
+        Exponential backoff between retries of the same payload:
+        ``min(cap, base * 2**(attempt-1))`` seconds, plus up to 10%
+        deterministic jitter.
+    breaker_threshold:
+        Consecutive job failures that open the circuit breaker.
+    breaker_cooldown:
+        Seconds the breaker stays open before allowing a half-open
+        probe append.
+    retry_seed:
+        Seed of the jitter RNG, so chaos runs back off identically.
 
     The scheduler is asyncio-native: construct and drive it from one
     event loop (:meth:`start`, :meth:`request_append`, :meth:`stop`).
@@ -116,13 +173,42 @@ class MaintenanceScheduler:
         pool: WorkerPool | None = None,
         workers: int = 0,
         on_swap=None,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        backoff_base: float = DEFAULT_BACKOFF_BASE_SECONDS,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP_SECONDS,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN_SECONDS,
+        retry_seed: int = 0,
     ):
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
+        if breaker_cooldown < 0:
+            raise ValueError(f"breaker_cooldown must be >= 0, got {breaker_cooldown}")
         self._maintainer = maintainer
         self._registry = registry
         self._pool = pool
         self._workers = int(workers)
         self._on_swap = on_swap
+        self._retry_limit = int(retry_limit)
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._jitter = random.Random(retry_seed)
         self._pending: list[Table] = []
+        #: A failed payload awaiting retry: (rows, attempts so far,
+        #: earliest monotonic time the retry may run).  At most one —
+        #: jobs are serialized, so at most one payload can be failing.
+        self._retry: tuple[Table, int, float] | None = None
+        self._retry_count = 0
+        self._retry_successes = 0
+        self._dropped_rows = 0
+        self._consecutive_failures = 0
+        self._breaker_opened_at: float | None = None
         self._jobs: list[MaintenanceJob] = []
         self._job_counter = 0
         self._active_job: MaintenanceJob | None = None
@@ -160,6 +246,46 @@ class MaintenanceScheduler:
         """The maintainer's current table (advances with every job)."""
         return self._maintainer.table
 
+    @property
+    def retry_pending(self) -> bool:
+        """True while a failed payload is waiting for its next attempt."""
+        return self._retry is not None
+
+    @property
+    def retry_count(self) -> int:
+        """Retry attempts executed (any outcome), lifetime total."""
+        return self._retry_count
+
+    @property
+    def retry_successes(self) -> int:
+        """Jobs that completed on a retry attempt, lifetime total."""
+        return self._retry_successes
+
+    @property
+    def dropped_rows_total(self) -> int:
+        """Appended rows permanently lost across all exhausted payloads."""
+        return self._dropped_rows
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failed jobs since the last completed one (feeds the breaker)."""
+        return self._consecutive_failures
+
+    @property
+    def breaker_state(self) -> str:
+        """Circuit breaker state: ``closed``, ``open`` or ``half_open``.
+
+        ``open`` rejects :meth:`request_append`; after
+        ``breaker_cooldown`` seconds it reads ``half_open``, which lets
+        one append through as a probe — success closes the breaker,
+        failure reopens it for another cooldown.
+        """
+        if self._breaker_opened_at is None:
+            return "closed"
+        if time.monotonic() - self._breaker_opened_at >= self._breaker_cooldown:
+            return "half_open"
+        return "open"
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -191,11 +317,30 @@ class MaintenanceScheduler:
             return
         self._closing = True
         cancelled: list[Table] = []
-        if not drain and self._pending:
-            cancelled, self._pending = self._pending, []
+        dropped_retry: tuple[Table, int, float] | None = None
+        if not drain:
+            if self._pending:
+                cancelled, self._pending = self._pending, []
+            # A cancelled retry payload is rows the service *accepted*
+            # and then lost — unlike never-started pending batches, it
+            # counts as dropped.
+            dropped_retry, self._retry = self._retry, None
         self._wake.set()
         await self._task
         self._task = None
+        if dropped_retry is not None:
+            payload, attempts, _ = dropped_retry
+            self._dropped_rows += payload.num_rows
+            self._jobs.append(
+                MaintenanceJob(
+                    index=self._next_index(),
+                    batches=1,
+                    new_rows=payload,
+                    status="cancelled",
+                    attempt=attempts + 1,
+                    dropped_rows=payload.num_rows,
+                )
+            )
         if cancelled:
             # Recorded only after the worker exited, so the in-flight
             # job (which finished first) keeps its earlier index and
@@ -221,9 +366,20 @@ class MaintenanceScheduler:
         Returns immediately; the rows are folded into the next job.
         Batches queued while a job is running are coalesced into one
         follow-up job.  Empty batches are ignored.
+
+        Raises :class:`MaintenanceUnavailableError` while the circuit
+        breaker is open (``breaker_threshold`` consecutive failures,
+        cooldown not yet elapsed): accepting the rows would only grow a
+        payload that keeps failing, so the caller is told explicitly
+        instead of the rows being dropped later.
         """
         if self._task is None or self._closing:
             raise RuntimeError("maintenance scheduler is not accepting appends")
+        if self.breaker_state == "open":
+            raise MaintenanceUnavailableError(
+                "maintenance circuit breaker is open after "
+                f"{self._consecutive_failures} consecutive failures"
+            )
         if new_rows.num_rows == 0:
             return
         self._pending.append(new_rows)
@@ -243,25 +399,67 @@ class MaintenanceScheduler:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while self._pending:
+            while self._pending or self._retry is not None:
+                if self._retry is not None:
+                    # The failed payload goes first — batches that
+                    # arrived after it must publish after it, exactly
+                    # as they would have in a no-fault run.  It stays
+                    # in ``_retry`` (visible to ``retry_pending`` and
+                    # cancellable by a no-drain stop) until its backoff
+                    # has fully elapsed.
+                    payload, attempts, ready_at = self._retry
+                    await self._await_backoff(ready_at)
+                    if self._retry is None:
+                        continue  # cancelled by stop(drain=False) mid-wait
+                    self._retry = None
+                    self._retry_count += 1
+                    await self._run_job(
+                        loop, [payload], payload=payload, attempt=attempts + 1
+                    )
+                    continue
                 batches, self._pending = self._pending, []
                 await self._run_job(loop, batches)
-            if not self._pending:
+            if not self._pending and self._retry is None:
                 self._idle.set()
             if self._closing:
                 return
+
+    async def _await_backoff(self, ready_at: float) -> None:
+        """Sleep until a retry is due; interruptible, skipped on close.
+
+        New appends arriving mid-backoff set ``_wake`` but must not cut
+        the wait short (the retry still goes first, after its delay) —
+        only :meth:`stop` does, because a draining shutdown should not
+        dawdle: the attempt budget, not the pacing, bounds its work.
+        """
+        while not self._closing:
+            remaining = ready_at - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return
+            self._wake.clear()
 
     def _next_index(self) -> int:
         """The next unique job index (allocation order, never reused)."""
         self._job_counter += 1
         return self._job_counter
 
-    async def _run_job(self, loop: asyncio.AbstractEventLoop, batches: list[Table]) -> None:
+    async def _run_job(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        batches: list[Table],
+        payload: Table | None = None,
+        attempt: int = 1,
+    ) -> None:
         job = MaintenanceJob(
             index=self._next_index(),
             batches=len(batches),
-            new_rows=_concat(batches),
+            new_rows=_concat(batches) if payload is None else payload,
             status="running",
+            attempt=attempt,
         )
         self._active_job = job
         start = time.perf_counter()
@@ -272,6 +470,10 @@ class MaintenanceScheduler:
             )
             job.snapshot_version = self._registry.swap(build).version
             job.status = "completed"
+            self._consecutive_failures = 0
+            self._breaker_opened_at = None
+            if attempt > 1:
+                self._retry_successes += 1
             if self._on_swap is not None:
                 await loop.run_in_executor(
                     self._executor, self._on_swap, self._maintainer.table
@@ -283,10 +485,26 @@ class MaintenanceScheduler:
             # the maintainer stays consistent with the last snapshot
             # that actually published (the failed build is discarded).
             self._maintainer.rollback_table(table_before)
+            self._record_failure(job, attempt)
         finally:
             job.seconds = time.perf_counter() - start
             self._active_job = None
             self._jobs.append(job)
+
+    def _record_failure(self, job: MaintenanceJob, attempt: int) -> None:
+        """Schedule a retry, or account the rows as dropped; feed the breaker."""
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self._breaker_threshold:
+            # (Re)open — a failed half-open probe lands here too and
+            # restarts the cooldown.
+            self._breaker_opened_at = time.monotonic()
+        if attempt <= self._retry_limit:
+            delay = min(self._backoff_cap, self._backoff_base * 2 ** (attempt - 1))
+            delay *= 1.0 + 0.1 * self._jitter.random()
+            self._retry = (job.new_rows, attempt, time.monotonic() + delay)
+        else:
+            job.dropped_rows = job.new_rows.num_rows
+            self._dropped_rows += job.dropped_rows
 
     def _maintain(self, new_rows: Table):
         """One maintenance pass (runs entirely on the scheduler thread).
@@ -300,6 +518,11 @@ class MaintenanceScheduler:
         report = self._maintainer.maintain(
             new_rows, build, workers=self._workers, pool=self._pool
         )
+        # The maintain.raise failpoint fires *after* the maintainer
+        # appended and re-summarized — the worst moment: rollback,
+        # retry and the breaker all get exercised on a real, non-empty
+        # table delta.
+        faults.FAILPOINTS.inject(faults.MAINTAIN_RAISE)
         return build, report
 
 

@@ -56,6 +56,7 @@ from repro.api.envelopes import VoiceRequest
 from repro.api.errors import ServiceOverloadedError
 from repro.api.sessions import SessionStore
 from repro.relational.table import Table
+from repro.reliability import faults
 from repro.serving.scheduler import MaintenanceScheduler
 from repro.serving.snapshots import SnapshotRegistry, StoreSnapshot
 from repro.system.classification import RequestType
@@ -84,6 +85,7 @@ class ServiceMetrics:
     completed: int = 0
     rejected: int = 0
     errors: int = 0
+    timeouts: int = 0
     offloaded: int = 0
     inline: int = 0
     exact_hits: int = 0
@@ -95,6 +97,7 @@ class ServiceMetrics:
     def reset(self) -> None:
         """Zero all counters and restart the qps clock."""
         self.submitted = self.completed = self.rejected = self.errors = 0
+        self.timeouts = 0
         self.offloaded = self.inline = self.exact_hits = 0
         self.responses_by_kind.clear()
         self._latencies.clear()
@@ -105,6 +108,8 @@ class ServiceMetrics:
         self.completed += 1
         kind = response.kind.value
         self.responses_by_kind[kind] = self.responses_by_kind.get(kind, 0) + 1
+        if response.kind is ResponseKind.TIMEOUT:
+            self.timeouts += 1
         if offloaded:
             self.offloaded += 1
         else:
@@ -153,6 +158,7 @@ class ServiceMetrics:
             "completed": self.completed,
             "rejected": self.rejected,
             "errors": self.errors,
+            "timeouts": self.timeouts,
             "inline": self.inline,
             "offloaded": self.offloaded,
             "exact_hits": self.exact_hits,
@@ -244,6 +250,12 @@ class VoiceService:
             self._registry,
             pool=pool,
             workers=config.maintenance_workers,
+            retry_limit=config.maintenance_retry_limit,
+            backoff_base=config.maintenance_backoff_base,
+            backoff_cap=config.maintenance_backoff_cap,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown_seconds,
+            retry_seed=config.failpoint_seed,
             # After every swap the engine re-derives its table-bound
             # components (parser lexicon, advanced answerers), so
             # requests naming dimension values introduced by the
@@ -301,6 +313,62 @@ class VoiceService:
         """Requests currently waiting for a worker."""
         return self._queue.qsize() if self._queue is not None else 0
 
+    def reliability(self) -> dict:
+        """The error-taxonomy counters as one JSON-ready dict.
+
+        Complements :class:`ServiceMetrics` (which counts what the
+        request path observed) with what the reliability machinery did
+        about it: maintenance retries and their outcomes, rows dropped
+        after retry exhaustion, the breaker state, and worker-pool
+        respawns/degradation.
+        """
+        scheduler = self._scheduler
+        pool = self._pool
+        return {
+            "timeouts": self._metrics.timeouts,
+            "maintenance_retries": scheduler.retry_count,
+            "maintenance_retry_successes": scheduler.retry_successes,
+            "maintenance_dropped_rows": scheduler.dropped_rows_total,
+            "maintenance_consecutive_failures": scheduler.consecutive_failures,
+            "breaker_state": scheduler.breaker_state,
+            "worker_respawns": pool.respawn_count if pool is not None else 0,
+            "pool_degraded": pool.degraded if pool is not None else False,
+        }
+
+    def metrics_summary(self) -> dict:
+        """:meth:`ServiceMetrics.summary` plus the reliability taxonomy."""
+        summary = self._metrics.summary()
+        summary["reliability"] = self.reliability()
+        return summary
+
+    def health(self) -> dict:
+        """Service health: ``ok``, ``degraded`` or ``draining`` + reasons.
+
+        ``degraded`` means the service still answers but something is
+        impaired — the worker pool fell back to serial, the maintenance
+        breaker is open (appends rejected), a failed maintenance
+        payload is awaiting retry, or rows were permanently dropped.
+        ``draining`` means the service is stopping (or stopped) and no
+        longer accepts requests.
+        """
+        if not self._running:
+            return {"status": "draining", "reasons": ["service is stopping or stopped"]}
+        reasons = []
+        if self._pool is not None and self._pool.degraded:
+            reasons.append(
+                "worker pool degraded to serial after "
+                f"{self._pool.respawn_count} respawns"
+            )
+        breaker = self._scheduler.breaker_state
+        if breaker != "closed":
+            reasons.append(f"maintenance circuit breaker is {breaker}")
+        if self._scheduler.retry_pending:
+            reasons.append("failed maintenance payload awaiting retry")
+        dropped = self._scheduler.dropped_rows_total
+        if dropped:
+            reasons.append(f"{dropped} appended rows dropped after retry exhaustion")
+        return {"status": "degraded" if reasons else "ok", "reasons": reasons}
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -315,6 +383,13 @@ class VoiceService:
         """Start the request loop and the maintenance scheduler."""
         if self._running:
             raise RuntimeError("service already started")
+        if self._config.failpoints:
+            # ensure(), not configure(): when the CLI already installed
+            # the same specs (so pre-processing could inject too), the
+            # mid-run counters must survive service start.
+            faults.FAILPOINTS.ensure(
+                self._config.failpoints, seed=self._config.failpoint_seed
+            )
         if self._pool is not None:
             self._pool.warm_up()
         self._queue = asyncio.Queue()
@@ -400,7 +475,9 @@ class VoiceService:
                 return
             request, future, submitted_at = item
             try:
-                response, offloaded = await self._answer(request)
+                response, offloaded = await self._answer_within_deadline(
+                    request, submitted_at
+                )
                 response.latency_seconds = time.perf_counter() - submitted_at
                 self._metrics.observe(response, response.latency_seconds, offloaded)
                 if not future.cancelled():
@@ -409,6 +486,40 @@ class VoiceService:
                 self._metrics.errors += 1
                 if not future.cancelled():
                     future.set_exception(exc)
+
+    async def _answer_within_deadline(
+        self, request: VoiceRequest, submitted_at: float
+    ) -> tuple[VoiceResponse, bool]:
+        """Answer one request, bounded by its deadline when it has one.
+
+        The budget covers queue wait *and* answering — a request that
+        spent its whole ``deadline_ms`` waiting is answered with a
+        ``timeout`` response immediately, without computing an answer
+        nobody is waiting for anymore.  Expiry mid-answer cancels the
+        answering task; offloaded work that was still queued for the
+        executor is cancelled with it (a thread already computing runs
+        to completion, but its result is discarded and the response
+        goes out on time).  Timed-out requests never record session
+        state: the caller got no answer, so "repeat" must replay the
+        last answer they actually heard.
+        """
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self._config.default_deadline_ms
+        if deadline_ms is None:
+            return await self._answer(request)
+        remaining = deadline_ms / 1000.0 - (time.perf_counter() - submitted_at)
+        if remaining > 0:
+            try:
+                return await asyncio.wait_for(self._answer(request), timeout=remaining)
+            except asyncio.TimeoutError:
+                pass
+        response = VoiceResponse(
+            kind=ResponseKind.TIMEOUT,
+            text="Sorry, answering took longer than the request allowed.",
+            request_type=RequestType.OTHER,
+        )
+        return response, False
 
     async def _answer(self, request: VoiceRequest) -> tuple[VoiceResponse, bool]:
         """Answer one request against the snapshot pinned at dispatch.
@@ -449,6 +560,13 @@ class VoiceService:
         request_type: RequestType,
         snapshot: StoreSnapshot,
     ) -> VoiceResponse:
+        # Offload failpoints, applied on the executor thread: a slow
+        # offload overruns deadlines (serve.offload_slow), a failing
+        # one errors the request (serve.offload_raise).
+        rule = faults.FAILPOINTS.trigger(faults.OFFLOAD_SLOW)
+        if rule is not None:
+            time.sleep(rule.sleep)
+        faults.FAILPOINTS.inject(faults.OFFLOAD_RAISE)
         return self._engine.respond_to(parsed, request_type, store=snapshot.store)
 
     def _offloads(

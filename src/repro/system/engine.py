@@ -51,6 +51,9 @@ class ResponseKind(Enum):
     NO_DATA = "no_data"
     COMPARISON = "comparison"
     EXTREMUM = "extremum"
+    #: Produced by the serving layer, never by the engine itself: the
+    #: request's deadline expired before an answer was computed.
+    TIMEOUT = "timeout"
 
 
 _HELP_TEXT = (

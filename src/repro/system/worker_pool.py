@@ -1,113 +1,175 @@
-"""Persistent worker pool: the streaming pre-processing service layer.
+"""Supervised persistent worker pool: the fault-tolerant service layer.
 
-PR 2 parallelized :meth:`Preprocessor.run` by forking a fresh
-``multiprocessing`` pool on every call.  That is fine for a one-shot
-batch, but the ROADMAP's serving scenario re-preprocesses continuously
-(incremental maintenance after every data append), and forking a pool —
-plus re-shipping the problem generator to every worker — per pass wastes
-a fixed start-up cost that a long-lived service can pay once.
+PR 3 made the pool persistent (one ``multiprocessing`` pool shared by
+batch pre-processing and incremental maintenance); this revision makes
+it **supervised**.  The original implementation delegated process
+management to ``multiprocessing.Pool``, which hides worker death — a
+killed worker silently loses its task, the parent only notices when the
+chunk timeout expires (300+ seconds later), and the whole run aborts.
+For a serving deployment whose maintenance passes ride on this pool,
+one OOM-killed worker stalling and then aborting a maintenance run is a
+reliability hole that multiplies by N once serving is sharded.
 
-:class:`WorkerPool` is that service.  It owns one ``multiprocessing``
-pool for its whole lifetime (context-manager scoped, lazily spawned on
-first use, gracefully shut down on :meth:`close`) and is shared by
-``Preprocessor.run``, ``VoiceQueryEngine.preprocess`` and
-``IncrementalMaintainer.maintain``.  Each run supplies
+:class:`WorkerPool` therefore owns its workers directly:
 
-* a *context* — the per-run state workers need (e.g. the problem
-  generator, summarizer and realizer), shipped to every worker exactly
-  once per run via a barrier broadcast, **not** once per task;
-* a module-level *function* ``func(context, chunk) -> result``;
-* an iterable of *chunks* (task payloads), typically a streaming
-  generator so the full task list is never materialised.
+* each worker is a ``multiprocessing.Process`` with a private task
+  queue (parent enqueues without blocking) and a private result pipe
+  (one worker's death cannot corrupt another's result stream);
+* the parent waits on every result pipe **and every process sentinel**
+  at once (:func:`multiprocessing.connection.wait`), so a dead worker
+  is detected the moment the OS reaps it — not when a timeout expires;
+* a dead (or hung — chunk older than ``chunk_timeout``) worker is
+  **respawned**: the replacement receives the current run context and
+  the lost chunks are re-dispatched, and because the parent already
+  merges results in submission order, the output stream — and any
+  store built from it — is byte-identical to a no-fault run;
+* after ``max_respawns`` respawns the pool **degrades to serial**:
+  remaining and future chunks run in the parent process (slower, never
+  wrong), and :attr:`degraded` reports the state for health endpoints.
 
-:meth:`imap_chunks` submits chunks with bounded look-ahead and yields
-results **in submission order** no matter which worker finished first —
-the order-preserving merge that keeps downstream stores byte-identical
-to a serial run.  With ``workers <= 1`` the pool degrades to an
-in-process serial loop (no processes are ever spawned), so callers need
-a single code path.
+Per-run context broadcast works as before from the caller's view —
+``imap_chunks(context, func, chunks)`` ships the context to every
+worker once per run, not per chunk — but needs no rendezvous barrier:
+each worker's task queue is FIFO, so a context install enqueued before
+a chunk is always installed before that chunk runs.  With ``workers <=
+1`` the pool degrades to an in-process serial loop and no processes are
+ever spawned.
 
-Implementation notes
---------------------
-Pool workers only share state set at fork time, so a *reused* pool must
-be able to receive fresh per-run context.  The broadcast protocol:
-every context install is tagged with a monotonically increasing token;
-``workers`` copies of the install task are submitted, and each blocks on
-a ``multiprocessing.Barrier(workers)`` until *all* workers hold the new
-context — a worker stuck inside the barrier cannot pick up a second
-install task, so exactly one lands on each worker.  Chunk tasks carry
-their token and fail loudly on mismatch (only possible for tasks
-abandoned by an early-stopped run, whose results nobody reads).
-
-A run stopped early (``max_problems``, a closed iterator) abandons its
-in-flight chunks; a worker may legitimately stay busy on one for up to
-the chunk timeout — far longer than the broadcast timeout.  The next
-run's broadcast therefore first *drains* the abandoned chunks
-(:meth:`WorkerPool` records them as the streaming iterator shuts down)
-so every worker is at the rendezvous barrier before install tasks are
-submitted; without the drain, a >``broadcast_timeout`` abandoned chunk
-would break the barrier and kill the pool.
+Fault injection: the parent consults the
+:mod:`repro.reliability.faults` registry at chunk dispatch
+(``worker.crash`` — the receiving worker hard-exits instead of
+computing) and at context broadcast (``worker.broadcast_stall`` — the
+worker sleeps before installing).  Evaluating rules parent-side keeps
+their counters in one process, so "crash exactly twice" means exactly
+twice even across respawns.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import threading
+import multiprocessing.connection
+import os
+import pickle
+import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
-#: Seconds a context broadcast may take end to end.  Both the workers
-#: (inside the barrier) and the parent (waiting on the install results)
-#: give up after this, so a worker lost mid-broadcast — OOM-killed
-#: while unpickling a big context, say — surfaces as an error instead
-#: of a process-wide hang in an untimed ``Barrier.wait``.
+from repro.reliability import faults
+
+#: Retained for API compatibility: the queue-per-worker design has no
+#: rendezvous barrier left to time out.  (A worker that stalls while
+#: unpickling a context simply delays its own chunks, which the hung
+#: -worker supervision below then covers.)
 BROADCAST_TIMEOUT_SECONDS = 120.0
 
-#: Default ceiling on one chunk's solve time.  ``multiprocessing.Pool``
-#: never completes the result of a task whose worker died (it silently
-#: respawns the process and drops the task), so an untimed ``get()``
-#: would hang forever; a generous bound turns that into a loud error.
+#: Default ceiling on one chunk's solve time.  A worker whose current
+#: chunk is older than this is presumed hung: it is killed, respawned
+#: and its chunks re-dispatched (counting toward ``max_respawns``),
+#: instead of the whole run aborting as before.
 CHUNK_TIMEOUT_SECONDS = 3600.0
 
-#: Per-worker installed context: (token, context object).
-_WORKER_CONTEXT: tuple[int, Any] | None = None
-#: Barrier shared by all workers of one pool (set by the initializer).
-_WORKER_BARRIER = None
+#: Default worker respawns tolerated before degrading to serial.
+DEFAULT_MAX_RESPAWNS = 3
+
+#: Exit code workers use for the ``worker.crash`` failpoint.
+CRASH_EXIT_CODE = 173
+
+#: Seconds close() waits for workers to finish gracefully before
+#: killing them (abandoned chunks' results die with the pool anyway).
+_CLOSE_GRACE_SECONDS = 5.0
+
+#: Safety poll while waiting with no armed chunk deadline.
+_IDLE_WAIT_SECONDS = 0.5
 
 
-def _init_worker(barrier) -> None:
-    global _WORKER_BARRIER
-    _WORKER_BARRIER = barrier
-
-
-def _install_context(
-    token: int, context: Any, timeout: float = BROADCAST_TIMEOUT_SECONDS
-) -> int:
-    """Install one run's context; rendezvous so every worker gets one."""
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (token, context)
-    assert _WORKER_BARRIER is not None, "worker pool not initialized"
+def _transportable_error(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, else a faithful stand-in."""
     try:
-        _WORKER_BARRIER.wait(timeout)
-    except threading.BrokenBarrierError:
-        raise RuntimeError(f"context broadcast {token} lost a worker mid-rendezvous") from None
-    return token
+        pickle.dumps(exc)
+    except Exception:
+        return RuntimeError(f"worker task failed: {exc!r}")
+    return exc
 
 
-def _run_chunk(token: int, func: Callable, chunk: Any) -> Any:
-    """Apply ``func`` to one chunk under the installed context.
+def _worker_main(tasks, result_writer) -> None:
+    """Worker process loop: install contexts, run chunks, send results."""
+    token = None
+    context = None
+    while True:
+        try:
+            message = tasks.get()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            result_writer.close()
+            return
+        if kind == "context":
+            _, token, context, stall_seconds = message
+            if stall_seconds:
+                time.sleep(stall_seconds)
+            try:
+                result_writer.send(("ready", token))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        _, task_id, task_token, func, chunk, directive = message
+        if directive == "crash":
+            # The worker.crash failpoint: die the hard way, mid-stream,
+            # exactly like an OOM kill would.
+            os._exit(CRASH_EXIT_CODE)
+        try:
+            if task_token != token:
+                raise RuntimeError(
+                    f"stale worker-pool task: expected context {task_token}"
+                )
+            result = func(context, chunk)
+        except BaseException as exc:  # noqa: BLE001 - ferried to the parent
+            payload = ("error", task_id, _transportable_error(exc))
+        else:
+            payload = ("result", task_id, result)
+        try:
+            result_writer.send(payload)
+        except (BrokenPipeError, OSError):
+            return
 
-    A token mismatch is only possible for tasks abandoned by an
-    early-stopped run whose results nobody reads; failing loudly keeps
-    that invariant honest.
-    """
-    if _WORKER_CONTEXT is None or _WORKER_CONTEXT[0] != token:
-        raise RuntimeError(f"stale worker-pool task: expected context {token}")
-    return func(_WORKER_CONTEXT[1], chunk)
+
+@dataclass
+class _Task:
+    """Parent-side record of one dispatched chunk."""
+
+    chunk: Any
+    wanted: bool = True  # False once the run abandoned it (early stop)
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("process", "tasks", "reader", "inflight", "head_started", "token")
+
+    def __init__(self, process, tasks, reader):
+        self.process = process
+        self.tasks = tasks
+        self.reader = reader
+        #: Task ids dispatched to this worker, oldest (running) first.
+        self.inflight: deque[int] = deque()
+        #: When the head task started (dispatch, or previous result).
+        self.head_started: float | None = None
+        #: Context token last enqueued to this worker.
+        self.token: int | None = None
+
+    def discard(self, task_id: int) -> None:
+        """Remove one task from the in-flight deque, advancing the clock."""
+        try:
+            self.inflight.remove(task_id)
+        except ValueError:
+            return
+        self.head_started = time.monotonic() if self.inflight else None
 
 
 class WorkerPool:
-    """A reusable process pool with per-run context broadcast.
+    """A reusable, supervised process pool with per-run context broadcast.
 
     Parameters
     ----------
@@ -118,21 +180,21 @@ class WorkerPool:
         Maximum in-flight chunks per worker while streaming (bounds
         memory for generator-fed runs).
     chunk_timeout:
-        Seconds one chunk may take before the run is aborted (see
-        ``CHUNK_TIMEOUT_SECONDS``); raise it for pathologically large
-        chunks rather than disabling it.
+        Seconds one chunk may run before its worker is presumed hung
+        and killed/respawned (see ``CHUNK_TIMEOUT_SECONDS``).
     broadcast_timeout:
-        Seconds a context broadcast's rendezvous may take (see
-        ``BROADCAST_TIMEOUT_SECONDS``).  Abandoned in-flight chunks are
-        drained *before* the rendezvous, so this only needs to cover
-        context unpickling, not leftover compute.
+        Accepted for API compatibility; the supervised design has no
+        broadcast rendezvous to time out.
+    max_respawns:
+        Worker respawns (deaths or hangs) tolerated over the pool's
+        lifetime before it degrades to serial execution.
 
     The pool is lazy: processes spawn on the first parallel
     :meth:`imap_chunks` call, survive across calls (that is the point),
     and are torn down by :meth:`close` / context-manager exit.  A closed
-    pool may be used again — it simply respawns lazily — so "fresh pool
-    per run" and "one pool per deployment" are both expressible with the
-    same object.
+    pool may be used again — it simply respawns lazily.  A pool that
+    exhausted ``max_respawns`` stays :attr:`degraded` (serial, correct,
+    reported via health endpoints) for the rest of its lifetime.
     """
 
     def __init__(
@@ -141,6 +203,7 @@ class WorkerPool:
         lookahead: int = 2,
         chunk_timeout: float = CHUNK_TIMEOUT_SECONDS,
         broadcast_timeout: float = BROADCAST_TIMEOUT_SECONDS,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -150,20 +213,24 @@ class WorkerPool:
             raise ValueError(f"chunk_timeout must be positive, got {chunk_timeout}")
         if broadcast_timeout <= 0:
             raise ValueError(f"broadcast_timeout must be positive, got {broadcast_timeout}")
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
         self._workers = int(workers)
         self._lookahead = int(lookahead)
         self._chunk_timeout = float(chunk_timeout)
         self._broadcast_timeout = float(broadcast_timeout)
-        # In-flight results abandoned by early-stopped runs; drained
-        # before the next context broadcast (see _drain_abandoned).
-        self._abandoned: deque = deque()
-        self._pool: multiprocessing.pool.Pool | None = None
+        self._max_respawns = int(max_respawns)
+        self._slots: dict[int, _Worker] = {}
+        self._tasks: dict[int, _Task] = {}
+        self._task_counter = 0
         self._context_token = 0
         self._installed_token: int | None = None
         # Strong reference to the broadcast context: identity is the
         # re-broadcast test, and holding the object pins its id.
         self._installed_context: Any = None
         self._spawn_count = 0
+        self._respawns = 0
+        self._degraded = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,22 +243,43 @@ class WorkerPool:
     @property
     def parallel(self) -> bool:
         """True when runs are distributed over worker processes."""
-        return self._workers > 1
+        return self._workers > 1 and not self._degraded
 
     @property
     def spawned(self) -> bool:
         """True while worker processes are alive."""
-        return self._pool is not None
+        return bool(self._slots)
 
     @property
     def spawn_count(self) -> int:
-        """How many times worker processes were (re)spawned.
+        """How many times the full worker set was (re)spawned.
 
         A deployment reusing one pool across N maintenance passes keeps
-        this at 1; the per-run-fork strategy pays N spawns.  Exposed for
-        benchmarks and lifecycle tests.
+        this at 1; the per-run-fork strategy pays N spawns.  Individual
+        worker respawns after a crash count in :attr:`respawn_count`,
+        not here.
         """
         return self._spawn_count
+
+    @property
+    def respawn_count(self) -> int:
+        """Workers respawned after dying or hanging (lifetime total)."""
+        return self._respawns
+
+    @property
+    def max_respawns(self) -> int:
+        """Respawns tolerated before degrading to serial."""
+        return self._max_respawns
+
+    @property
+    def degraded(self) -> bool:
+        """True once respawns were exhausted and the pool runs serially.
+
+        A degraded pool stays correct — chunks run in the parent
+        process — but no longer parallel; health endpoints surface the
+        state so operators notice the capacity loss.
+        """
+        return self._degraded
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,32 +291,37 @@ class WorkerPool:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker processes down gracefully (idempotent)."""
-        pool, self._pool = self._pool, None
+        """Shut the worker processes down gracefully (idempotent).
+
+        Workers get a stop message and ``_CLOSE_GRACE_SECONDS`` to
+        finish their current chunk; stragglers (e.g. busy on a chunk
+        abandoned by an early-stopped run) are killed — their results
+        die with the pool either way.
+        """
+        slots, self._slots = self._slots, {}
         self._installed_token = None
         self._installed_context = None
-        # pool.join() waits for any abandoned chunks to finish; their
-        # results die with the pool either way.
-        self._abandoned.clear()
-        if pool is not None:
-            pool.close()
-            pool.join()
+        self._tasks.clear()
+        for worker in slots.values():
+            try:
+                worker.tasks.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + _CLOSE_GRACE_SECONDS
+        for worker in slots.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._reap(slots)
 
     def terminate(self) -> None:
         """Kill the worker processes without waiting (idempotent).
 
-        Used when the pool is known to be broken (a failed context
-        broadcast): a graceful ``close`` would wait on workers that may
-        never finish.  The pool object stays usable — the next run
-        respawns lazily.
+        The pool object stays usable — the next run respawns lazily.
         """
-        pool, self._pool = self._pool, None
+        slots, self._slots = self._slots, {}
         self._installed_token = None
         self._installed_context = None
-        self._abandoned.clear()
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        self._tasks.clear()
+        self._reap(slots)
 
     def warm_up(self) -> None:
         """Spawn the worker processes now instead of on first use.
@@ -237,23 +330,128 @@ class WorkerPool:
         wrong for a serving deployment: there the first maintenance
         pass would pay process start-up *while requests are in flight*.
         Calling ``warm_up`` during service start moves that cost ahead
-        of traffic.  No-op for serial pools and when already spawned.
+        of traffic.  No-op for serial (and degraded) pools and when
+        already spawned.
         """
         if self.parallel:
-            self._ensure_pool()
+            self._ensure_workers()
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            barrier = multiprocessing.Barrier(self._workers)
-            self._pool = multiprocessing.Pool(
-                processes=self._workers,
-                initializer=_init_worker,
-                initargs=(barrier,),
-            )
-            self._spawn_count += 1
-            self._installed_token = None
-            self._installed_context = None
-        return self._pool
+    @staticmethod
+    def _reap(slots: dict[int, _Worker]) -> None:
+        """Kill and clean up whatever workers remain in ``slots``."""
+        for worker in slots.values():
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.reader.close()
+            except OSError:
+                pass
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    # Spawning and supervision
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, slot: int) -> _Worker:
+        tasks: multiprocessing.Queue = multiprocessing.Queue()
+        reader, writer = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(tasks, writer),
+            name=f"repro-pool-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must drop its copy of the write end, or the reader
+        # would never see EOF after the worker dies.
+        writer.close()
+        worker = _Worker(process, tasks, reader)
+        self._slots[slot] = worker
+        return worker
+
+    def _ensure_workers(self) -> None:
+        if self._slots:
+            # Replace workers that died while the pool sat idle between
+            # runs (nobody was watching their sentinels).
+            for slot, worker in list(self._slots.items()):
+                if not worker.process.is_alive():
+                    self._retire_worker(slot)
+                    self._respawns += 1
+                    if self._check_degrade():
+                        return
+                    self._spawn_worker(slot)
+            return
+        for slot in range(self._workers):
+            self._spawn_worker(slot)
+        self._spawn_count += 1
+        self._installed_token = None
+        self._installed_context = None
+
+    def _retire_worker(self, slot: int) -> _Worker | None:
+        """Drop one worker's handle, killing the process if needed."""
+        worker = self._slots.pop(slot, None)
+        if worker is None:
+            return None
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=1.0)
+        try:
+            worker.reader.close()
+        except OSError:
+            pass
+        worker.tasks.close()
+        worker.tasks.cancel_join_thread()
+        return worker
+
+    def _check_degrade(self) -> bool:
+        """Degrade to serial when respawns are exhausted; True if so."""
+        if self._respawns <= self._max_respawns:
+            return False
+        self._degraded = True
+        slots, self._slots = self._slots, {}
+        self._installed_token = None
+        self._installed_context = None
+        self._reap(slots)
+        return True
+
+    # ------------------------------------------------------------------
+    # Context broadcast
+    # ------------------------------------------------------------------
+    def _broadcast(self, context: Any) -> int:
+        """Enqueue ``context`` on every worker; returns its token.
+
+        Re-uses the previous broadcast when the same context object is
+        run again (the common case: one engine, many runs).  Identity —
+        not equality — is the test, so a mutated-and-resubmitted
+        context must be a new object; the callers here always rebuild
+        their context tuples per run state, making identity exact.
+
+        No rendezvous is needed: each worker's task queue is FIFO, so
+        the install is processed before any chunk enqueued after it.
+        """
+        if self._installed_token is not None and self._installed_context is context:
+            token = self._installed_token
+        else:
+            self._context_token += 1
+            token = self._context_token
+            self._installed_token = token
+            self._installed_context = context
+        for worker in self._slots.values():
+            if worker.token != token:
+                self._install_on(worker, token, context, allow_stall=True)
+        return token
+
+    def _install_on(
+        self, worker: _Worker, token: int, context: Any, allow_stall: bool
+    ) -> None:
+        stall = 0.0
+        if allow_stall:
+            rule = faults.FAILPOINTS.trigger(faults.WORKER_BROADCAST_STALL)
+            if rule is not None:
+                stall = rule.sleep
+        worker.tasks.put(("context", token, context, stall))
+        worker.token = token
 
     # ------------------------------------------------------------------
     # Streaming execution
@@ -264,12 +462,15 @@ class WorkerPool:
         """Apply ``func(context, chunk)`` to every chunk, yielding in order.
 
         ``chunks`` may be (and for streaming runs should be) a lazy
-        generator; at most ``lookahead`` chunks per worker are in flight,
-        so memory stays bounded by the look-ahead window rather than the
-        task list.  Results come back in submission order regardless of
-        completion order.  Stopping the returned iterator early simply
-        abandons in-flight chunks (their results are dropped); the pool
-        stays usable for the next run.
+        generator; at most ``lookahead`` chunks per worker are in
+        flight, so memory stays bounded by the look-ahead window rather
+        than the task list.  Results come back in submission order
+        regardless of completion order, and regardless of worker deaths
+        in between — lost chunks are re-dispatched to the respawned
+        worker, so the stream is byte-identical to a no-fault run.
+        Stopping the returned iterator early simply abandons in-flight
+        chunks (their results are dropped); the pool stays usable for
+        the next run.
 
         ``func`` must be a module-level callable and ``context`` must be
         picklable; the context is broadcast to every worker once per run
@@ -280,117 +481,210 @@ class WorkerPool:
             for chunk in chunks:
                 yield func(context, chunk)
             return
-        pool, token = self._broadcast(context)
+        yield from self._imap_parallel(context, func, chunks)
+
+    def _imap_parallel(
+        self, context: Any, func: Callable[[Any, Any], Any], chunks: Iterable[Any]
+    ) -> Iterator[Any]:
+        self._ensure_workers()
+        if self._degraded:
+            for chunk in chunks:
+                yield func(context, chunk)
+            return
+        token = self._broadcast(context)
         chunk_iterator = iter(chunks)
-        pending: deque = deque()
+        pending: deque[int] = deque()  # submission order
+        buffered: dict[int, tuple[str, Any]] = {}
+        exhausted = False
 
         def submit_next() -> bool:
+            nonlocal exhausted
+            if exhausted or self._degraded:
+                return False
             chunk = next(chunk_iterator, _SENTINEL)
             if chunk is _SENTINEL:
+                exhausted = True
                 return False
-            pending.append(pool.apply_async(_run_chunk, (token, func, chunk)))
+            self._task_counter += 1
+            task_id = self._task_counter
+            self._tasks[task_id] = _Task(chunk=chunk)
+            pending.append(task_id)
+            self._dispatch(task_id, func, token)
             return True
+
+        def handle_message(worker: _Worker, message: tuple) -> None:
+            kind = message[0]
+            if kind == "ready":
+                return
+            _, task_id, payload = message
+            worker.discard(task_id)
+            task = self._tasks.pop(task_id, None)
+            if task is not None and task.wanted:
+                buffered[task_id] = (kind, payload)
+                submit_next()
+
+        def handle_death(slot: int) -> None:
+            """Drain, retire and replace one dead/hung worker."""
+            worker = self._slots[slot]
+            # Results the worker managed to send before dying are real;
+            # drain them so completed work is never recomputed.
+            while True:
+                try:
+                    if not worker.reader.poll():
+                        break
+                    handle_message(worker, worker.reader.recv())
+                except (EOFError, OSError):
+                    break
+            lost = list(worker.inflight)
+            self._retire_worker(slot)
+            self._respawns += 1
+            if self._check_degrade():
+                return
+            replacement = self._spawn_worker(slot)
+            if self._installed_token is not None:
+                self._install_on(
+                    replacement, self._installed_token, self._installed_context,
+                    allow_stall=False,
+                )
+            for task_id in lost:
+                task = self._tasks.get(task_id)
+                if task is None:
+                    continue
+                if task.wanted:
+                    # Order-preserving by construction: the parent
+                    # yields by submission order, so re-dispatch order
+                    # only affects latency, never the output stream.
+                    self._dispatch(task_id, func, token, worker=replacement)
+                else:
+                    self._tasks.pop(task_id, None)
+
+        def pump() -> None:
+            """Wait for one event: a result, a death, or a hung deadline."""
+            now = time.monotonic()
+            deadlines = [
+                worker.head_started + self._chunk_timeout - now
+                for worker in self._slots.values()
+                if worker.inflight and worker.head_started is not None
+            ]
+            wait_timeout = (
+                max(0.0, min(deadlines)) if deadlines else _IDLE_WAIT_SECONDS
+            )
+            watched: dict[object, tuple[int, _Worker, str]] = {}
+            for slot, worker in self._slots.items():
+                watched[worker.reader] = (slot, worker, "reader")
+                watched[worker.process.sentinel] = (slot, worker, "sentinel")
+            ready = multiprocessing.connection.wait(
+                list(watched), timeout=wait_timeout
+            )
+            if not ready:
+                self._reap_hung(handle_death)
+                return
+            dead: set[int] = set()
+            for event in ready:
+                slot, worker, what = watched[event]
+                if slot in dead or self._slots.get(slot) is not worker:
+                    continue
+                if what == "sentinel":
+                    dead.add(slot)
+                    handle_death(slot)
+                    continue
+                try:
+                    message = worker.reader.recv()
+                except (EOFError, OSError):
+                    dead.add(slot)
+                    handle_death(slot)
+                    continue
+                handle_message(worker, message)
 
         try:
             for _ in range(self._workers * self._lookahead):
                 if not submit_next():
                     break
             while pending:
-                try:
-                    result = pending.popleft().get(self._chunk_timeout)
-                except multiprocessing.TimeoutError:
-                    # The worker for this chunk most likely died (Pool
-                    # drops such tasks silently); the pool is no longer
-                    # trustworthy.  The other pending results die with
-                    # it, so they must not reach the abandoned queue.
-                    pending.clear()
-                    self.terminate()
-                    raise RuntimeError(
-                        f"worker-pool chunk produced no result within "
-                        f"{self._chunk_timeout:.0f}s; a worker may have died"
-                    ) from None
-                submit_next()
-                yield result
+                head = pending[0]
+                if head in buffered:
+                    pending.popleft()
+                    kind, payload = buffered.pop(head)
+                    if kind == "error":
+                        raise payload
+                    yield payload
+                    submit_next()
+                    continue
+                pump()
+                if self._degraded:
+                    yield from self._finish_serially(
+                        context, func, pending, buffered, chunk_iterator
+                    )
+                    return
         finally:
             # An early-stopped run (closed iterator, max_problems cut)
-            # leaves submitted chunks in flight; remember them so the
-            # next broadcast can drain instead of hitting its barrier
-            # while workers are still busy on them.
-            self._abandoned.extend(pending)
-            pending.clear()
+            # leaves submitted chunks in flight; mark them unwanted so
+            # their eventual results are dropped and a dead worker
+            # never wastes a respawn re-dispatching them.
+            for task_id in pending:
+                task = self._tasks.get(task_id)
+                if task is not None:
+                    task.wanted = False
+            buffered.clear()
 
-    def _broadcast(self, context: Any) -> tuple[multiprocessing.pool.Pool, int]:
-        """Install ``context`` on every worker; returns (pool, token).
+    def _dispatch(
+        self, task_id: int, func: Callable, token: int, worker: _Worker | None = None
+    ) -> None:
+        """Send one chunk to a worker (least-loaded when not pinned)."""
+        if worker is None:
+            worker = min(self._slots.values(), key=lambda w: len(w.inflight))
+        directive = None
+        if faults.FAILPOINTS.fires(faults.WORKER_CRASH):
+            directive = "crash"
+        chunk = self._tasks[task_id].chunk
+        if not worker.inflight:
+            worker.head_started = time.monotonic()
+        worker.inflight.append(task_id)
+        worker.tasks.put(("chunk", task_id, token, func, chunk, directive))
 
-        Re-uses the previous broadcast when the same context object is
-        run again (the common case: one engine, many runs).  Identity —
-        not equality — is the test, so a mutated-and-resubmitted context
-        must be a new object; the callers here always rebuild their
-        context tuples per run state, making identity exact.
+    def _reap_hung(self, handle_death: Callable[[int], None]) -> None:
+        """Kill and replace workers whose head chunk exceeded its timeout."""
+        now = time.monotonic()
+        for slot, worker in list(self._slots.items()):
+            if (
+                worker.inflight
+                and worker.head_started is not None
+                and now - worker.head_started > self._chunk_timeout
+            ):
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+                handle_death(slot)
+                if self._degraded:
+                    return
 
-        Before a real (re)broadcast, chunks abandoned by an
-        early-stopped run are drained: a worker may be busy on one for
-        up to the chunk timeout, and a worker not at the rendezvous
-        barrier within the (much shorter) broadcast timeout would break
-        the barrier and kill the pool.  The returned pool may therefore
-        differ from the one before the call (drain of a dead worker
-        terminates and respawns).
+    def _finish_serially(
+        self,
+        context: Any,
+        func: Callable,
+        pending: deque[int],
+        buffered: dict[int, tuple[str, Any]],
+        chunk_iterator: Iterator[Any],
+    ) -> Iterator[Any]:
+        """Finish a run in-process after the pool degraded mid-stream.
+
+        Results workers already delivered are kept (never recomputed);
+        everything else — dispatched-but-lost and not-yet-dispatched
+        chunks alike — runs in the parent, still in submission order,
+        so the output stream is identical to a no-fault run.
         """
-        pool = self._ensure_pool()
-        if self._installed_token is not None and self._installed_context is context:
-            return pool, self._installed_token
-        if not self._drain_abandoned():
-            # A worker presumably died on an abandoned chunk; the drain
-            # already terminated the pool, so respawn before installing.
-            pool = self._ensure_pool()
-        self._context_token += 1
-        token = self._context_token
-        installs = [
-            pool.apply_async(_install_context, (token, context, self._broadcast_timeout))
-            for _ in range(self._workers)
-        ]
-        try:
-            # Slightly longer than the worker-side barrier timeout so a
-            # broken barrier reports its own error before we give up.
-            for install in installs:
-                install.get(self._broadcast_timeout + 10.0)
-        except Exception as exc:
-            # A worker died or the rendezvous broke: the pool can no
-            # longer be trusted (replacement workers hold no barrier
-            # slot), so kill it rather than leave callers to hang.
-            self.terminate()
-            raise RuntimeError(f"worker-pool context broadcast failed: {exc}") from exc
-        self._installed_token = token
-        self._installed_context = context
-        return pool, token
-
-    def _drain_abandoned(self) -> bool:
-        """Await chunks abandoned by early-stopped runs.
-
-        Returns True when every abandoned chunk completed (their
-        results are dropped; a chunk that *failed* is fine — nobody
-        reads it).  Returns False when a chunk never completed within
-        the chunk timeout — the tell-tale of a dead worker — in which
-        case the pool has been terminated and must be respawned.
-
-        Each chunk gets the full per-chunk timeout (the same contract a
-        live run grants it): a healthy pool draining several abandoned
-        near-timeout chunks must not be terminated just because their
-        *sum* exceeds one timeout.  Chunks complete roughly in
-        submission order, so by the time a later ``get`` starts its
-        clock the earlier ones have already finished — the worst case
-        stays near one chunk-time per backlog wave, not per chunk.
-        """
-        while self._abandoned:
-            result = self._abandoned.popleft()
-            try:
-                result.get(self._chunk_timeout)
-            except multiprocessing.TimeoutError:
-                self.terminate()
-                return False
-            except Exception:
-                pass
-        return True
+        while pending:
+            task_id = pending.popleft()
+            if task_id in buffered:
+                kind, payload = buffered.pop(task_id)
+                if kind == "error":
+                    raise payload
+                yield payload
+                continue
+            task = self._tasks.pop(task_id, None)
+            assert task is not None, "pending task without a record"
+            yield func(context, task.chunk)
+        for chunk in chunk_iterator:
+            yield func(context, chunk)
 
 
 #: Unique end-of-iterator marker for :meth:`WorkerPool.imap_chunks`.

@@ -195,7 +195,7 @@ class TestClientMetadata:
             async with VoiceService(engine, concurrency=2) as service:
                 async with VoiceHttpServer(service) as server:
                     async with HttpClient(server.host, server.port) as client:
-                        status, payload = await client._request(
+                        status, payload, _ = await client._request(
                             "POST",
                             "/v1/ask",
                             body=VoiceRequest(

@@ -41,7 +41,7 @@ class TestRoutes:
             return await client.health()
 
         health = run_with_server(engine, scenario)
-        assert health == {"status": "ok", "snapshot_version": 0}
+        assert health == {"status": "ok", "reasons": [], "snapshot_version": 0}
 
     def test_metrics_includes_service_and_session_counters(self, engine):
         async def scenario(service, server, client):
@@ -92,7 +92,7 @@ class TestRoutes:
             )
 
         results = run_with_server(engine, scenario)
-        assert [status for status, _ in results] == [404, 405, 405, 405]
+        assert [status for status, _, _ in results] == [404, 405, 405, 405]
 
 
 class TestAskValidation:
@@ -114,8 +114,9 @@ class TestAskValidation:
             payload["schema_version"] = SCHEMA_VERSION + 7
             return await client._request("POST", "/v1/ask", body=payload)
 
-        status, payload = run_with_server(engine, scenario)
+        status, payload, _ = run_with_server(engine, scenario)
         assert status == 400
+        assert payload["code"] == "bad_envelope"
         assert "schema_version" in payload["error"]
 
     def test_missing_text_is_400(self, engine):
@@ -124,8 +125,9 @@ class TestAskValidation:
                 "POST", "/v1/ask", body={"schema_version": SCHEMA_VERSION}
             )
 
-        status, payload = run_with_server(engine, scenario)
+        status, payload, _ = run_with_server(engine, scenario)
         assert status == 400
+        assert payload["code"] == "bad_envelope"
         assert "text" in payload["error"]
 
     def test_oversized_body_is_413(self, engine):

@@ -157,19 +157,22 @@ class TestFailedJob:
             scheduler.start()
             scheduler.request_append(append_batches[0])
             await scheduler.quiesce()
-            failed = scheduler.jobs[-1]
+            await scheduler.stop()
+            failed, retried = scheduler.jobs
             assert failed.status == "failed"
             assert "pool worker died" in failed.error
-            assert registry.version == 0  # nothing was published
+            assert failed.snapshot_version is None  # nothing was published
             # maintain() concats before re-summarizing; the failure
-            # must roll that back so the batch can be retried cleanly.
-            assert maintainer.table.num_rows == rows_before
-            scheduler.request_append(append_batches[0])
-            await scheduler.quiesce()
-            await scheduler.stop()
-            retried = scheduler.jobs[-1]
+            # rolled that back, then the scheduler retried the exact
+            # payload on its own — no rows lost, no manual re-append.
+            assert (failed.attempt, retried.attempt) == (1, 2)
+            assert failed.dropped_rows == 0
             assert retried.status == "completed"
             assert (failed.index, retried.index) == (1, 2)
+            assert scheduler.retry_count == 1
+            assert scheduler.retry_successes == 1
+            assert scheduler.dropped_rows_total == 0
+            assert scheduler.breaker_state == "closed"
             assert registry.version == 1
             assert maintainer.table.num_rows == rows_before + append_batches[0].num_rows
 

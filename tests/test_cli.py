@@ -202,7 +202,7 @@ class TestServeCommand:
         assert main(self.COMMON) == 0
         output = capsys.readouterr().out
         assert "served 40 requests" in output
-        assert "maintenance job 1: completed" in output
+        assert "maintenance job 1 (attempt 1): completed" in output
         assert "snapshot v" in output
         assert "0 errors" in output
 
