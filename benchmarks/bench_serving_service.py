@@ -12,7 +12,14 @@ sustained qps and tail latency (p50/p95/p99) in two phases:
   envelope encoding and HTTP framing on both sides;
 * ``serve_with_maintenance`` — the in-process request stream while
   held-out rows are appended through the background maintenance
-  scheduler (store-snapshot swaps mid-stream, serving never pauses).
+  scheduler (store-snapshot swaps mid-stream, serving never pauses);
+* ``durability`` — the same stream-plus-maintenance workload with the
+  write-ahead journal and checkpoints enabled (``data_dir`` set): every
+  append is journalled before its ack.  The phase also times a cold
+  recovery of the resulting data directory over both paths (newest
+  checkpoint + journal suffix, and pure journal replay) and requires
+  each recovered store to be byte-identical to the live run's final
+  store.
 
 The run self-verifies the serving contract: no request errors on any
 phase (HTTP included), at least one snapshot swap, requests completing
@@ -21,11 +28,13 @@ post-swap store must be byte-identical to running serial ``maintain``
 on the exact batches the scheduler's jobs consumed, in order.  Any
 violation exits non-zero.
 
-Two regression metrics are gated, both same-process ratios that are
+Three regression metrics are gated, all same-process ratios that are
 comparatively stable across machines: ``throughput_ratio`` (qps with
-maintenance / qps without — the "serving continues" claim) and
+maintenance / qps without — the "serving continues" claim),
 ``http.throughput_ratio`` (HTTP qps / in-process qps — the "envelope +
-transport layer stays cheap" claim).
+transport layer stays cheap" claim) and ``durability.throughput_ratio``
+(qps with the journal on / qps with it off — the "durability stays
+cheap" claim).
 
 Usage::
 
@@ -58,9 +67,13 @@ from repro.serving.workload import (  # noqa: E402
     serving_questions,
     split_batches,
 )
+from repro.storage import recover_state  # noqa: E402
 from repro.system.config import SummarizationConfig  # noqa: E402
 from repro.system.engine import VoiceQueryEngine  # noqa: E402
-from repro.system.persistence import store_to_dict  # noqa: E402
+from repro.system.persistence import (  # noqa: E402
+    canonical_store_payload,
+    store_to_dict,
+)
 from repro.system.updates import IncrementalMaintainer  # noqa: E402
 
 SERVING = ServingConfig(concurrency=8, max_queue_depth=128)
@@ -197,6 +210,100 @@ def run(rows: int, requests: int, append_rows: int, passes: int) -> dict:
     }
 
 
+def run_durability(
+    rows: int, requests: int, append_rows: int, passes: int, baseline_qps: float
+) -> dict:
+    """The maintenance workload with the journal on, plus cold recovery.
+
+    ``throughput_ratio`` prices the write-ahead journal: qps of the
+    identical stream-plus-appends workload with ``data_dir`` set /
+    ``serve_with_maintenance``'s qps without it.  After the service
+    stops cleanly (final checkpoint written), the data directory is
+    recovered cold on both paths — checkpoint + journal suffix, and
+    pure journal replay from the pre-processed base — each timed and
+    required to be byte-identical to the live run's final store.
+    """
+    import tempfile
+
+    engine, config, base, held_out = build_engine(rows, append_rows)
+    questions = serving_questions(engine.store, requests)
+    batches = split_batches(held_out, passes)
+    append_at = {
+        (index + 1) * (len(questions) // (len(batches) + 1)): batch
+        for index, batch in enumerate(batches)
+    }
+    outstanding = SERVING.max_queue_depth // 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as data_dir:
+        serving = SERVING.replace(data_dir=data_dir, checkpoint_every_swaps=2)
+
+        async def bench():
+            async with VoiceService(engine, serving) as service:
+                await drive_requests(
+                    service,
+                    questions[: min(64, len(questions))],
+                    max_outstanding=outstanding,
+                )
+                service.metrics.reset()
+                start = time.perf_counter()
+                summary, completed_during = await drive_requests(
+                    service, questions, append_at, max_outstanding=outstanding
+                )
+                summary["wall_seconds"] = time.perf_counter() - start
+                await service.scheduler.quiesce()
+                jobs = list(service.scheduler.jobs)
+                stats = service.durability.stats()
+                payload = canonical_store_payload(service.registry.current.store)
+            return summary, completed_during, jobs, stats, payload
+
+        summary, completed_during, jobs, stats, live_payload = asyncio.run(bench())
+
+        # Cold recovery: a fresh process rebuilds the base engine (the
+        # deterministic pre-processing a restart would run) and recovers
+        # the data directory over both paths.
+        reference = VoiceQueryEngine(config, base)
+        reference.preprocess()
+
+        def recover(use_checkpoint: bool):
+            start = time.perf_counter()
+            recovered = recover_state(
+                data_dir,
+                config,
+                base_store=reference.store,
+                base_table=reference.table,
+                summarizer=reference.summarizer,
+                realizer=reference.realizer,
+                use_checkpoint=use_checkpoint,
+            )
+            return recovered, time.perf_counter() - start
+
+        from_checkpoint, checkpoint_seconds = recover(use_checkpoint=True)
+        from_journal, journal_seconds = recover(use_checkpoint=False)
+
+    summary["throughput_ratio"] = (
+        summary["qps"] / baseline_qps if baseline_qps else 0.0
+    )
+    summary["completed_during_maintenance"] = completed_during
+    summary["snapshot_swaps"] = len(
+        [job for job in jobs if job.status == "completed"]
+    )
+    summary["journal_bytes"] = stats["journal_bytes"]
+    summary["journalled_batches"] = stats["next_seq"] - 1
+    summary["checkpoints_written"] = stats["checkpoints_written"]
+    summary["checkpoint_failures"] = stats["checkpoint_failures"]
+    summary["recovery"] = {
+        "checkpoint_seconds": checkpoint_seconds,
+        "checkpoint_replayed_records": from_checkpoint.replayed_records,
+        "journal_replay_seconds": journal_seconds,
+        "journal_replayed_records": from_journal.replayed_records,
+    }
+    summary["store_parity"] = (
+        canonical_store_payload(from_checkpoint.store) == live_payload
+        and canonical_store_payload(from_journal.store) == live_payload
+    )
+    return summary
+
+
 def run_fault_recovery(rows: int, requests: int, append_rows: int, passes: int) -> dict:
     """Serve + maintain with injected faults; the recovery contract.
 
@@ -303,6 +410,31 @@ def verify(report: dict) -> list[str]:
     if failed:
         problems.append(f"{len(failed)} maintenance jobs did not complete")
 
+    durability = report["durability"]
+    if not durability["store_parity"]:
+        problems.append(
+            "durability: a cold-recovered store differs from the live run's "
+            "final store"
+        )
+    if durability["errors"] or durability["rejected"]:
+        problems.append(
+            f"durability: {durability['errors']} errors, "
+            f"{durability['rejected']} rejected requests with the journal on"
+        )
+    if durability["snapshot_swaps"] < 1:
+        problems.append("durability: no maintenance job completed")
+    if durability["checkpoints_written"] < 1 or durability["checkpoint_failures"]:
+        problems.append(
+            f"durability: {durability['checkpoints_written']} checkpoints "
+            f"written, {durability['checkpoint_failures']} failed"
+        )
+    if durability["recovery"]["checkpoint_replayed_records"]:
+        problems.append(
+            "durability: the clean-stop checkpoint did not cover the journal "
+            f"({durability['recovery']['checkpoint_replayed_records']} records "
+            "replayed)"
+        )
+
     chaos = report["fault_recovery"]
     lost = (
         chaos["errors"]
@@ -353,6 +485,9 @@ def main(argv=None) -> int:
             passes=args.passes,
         )
     report = run(**workload)
+    report["durability"] = run_durability(
+        **workload, baseline_qps=report["serve_with_maintenance"]["qps"]
+    )
     report["fault_recovery"] = run_fault_recovery(**workload)
 
     text = json.dumps(report, indent=2)

@@ -77,6 +77,13 @@ SPECS: list[dict] = [
         "metrics": [
             {"path": "throughput_ratio", "tolerance": 0.5},
             {"path": "http.throughput_ratio", "tolerance": 0.5},
+            # qps with the write-ahead journal on / qps with it off, on
+            # the identical stream-plus-appends workload.  Guards the
+            # durability layer staying off the request path: a journal
+            # write leaking into request latency (or an fsync sneaking
+            # into the default flush-only mode) collapses it.  The
+            # smoke also self-verifies cold-recovery store parity.
+            {"path": "durability.throughput_ratio", "tolerance": 0.5},
         ],
     },
 ]

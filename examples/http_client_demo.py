@@ -18,7 +18,10 @@ contract end to end:
 2. a "repeat" on the same session — the answer must be byte-identical
    to the previous response, exactly like the interactive engine,
 3. a burst of concurrent session-less questions,
-4. ``GET /v1/sessions/<id>`` and ``GET /v1/metrics``.
+4. ``GET /v1/sessions/<id>`` and ``GET /v1/metrics``,
+5. with ``--append N``, N ``POST /v1/append`` batches of flights-schema
+   rows — against a ``serve --data-dir`` server each receipt carries
+   the batch's journal seq, making this the crash-test append driver.
 
 It exits non-zero if any step misbehaves, which is why CI reuses it as
 the HTTP smoke driver.
@@ -98,6 +101,33 @@ async def main_async(args: argparse.Namespace) -> int:
     if metrics["errors"]:
         failures.append(f"server counted {metrics['errors']} request errors")
 
+    # 5. Durable appends (--append N batches through POST /v1/append).
+    if args.append:
+        acked = []
+        for index in range(args.append):
+            receipt = await client.append(
+                [
+                    {
+                        "airline": "F9",
+                        "origin_region": "West",
+                        "destination_region": "South",
+                        "season": "Winter",
+                        "month": "February",
+                        "time_of_day": "Evening",
+                        "day_type": "Weekday",
+                        "cancellation": 0.0,
+                        "delay_minutes": 30.0 + index,
+                    }
+                ]
+            )
+            if receipt["accepted_rows"] != 1:
+                failures.append(f"append {index} not accepted: {receipt}")
+            acked.append(receipt["journal_seq"])
+        print(f"appended {args.append} batches, journal seqs {acked}")
+        seqs = [seq for seq in acked if seq is not None]
+        if seqs and seqs != sorted(seqs):
+            failures.append(f"journal seqs not monotonic: {acked}")
+
     await client.aclose()
     for failure in failures:
         print(f"ERROR: {failure}", file=sys.stderr)
@@ -113,6 +143,11 @@ def main(argv=None) -> int:
         help="transcript for the data question (flights-dataset default)",
     )
     parser.add_argument("--requests", type=int, default=32, help="concurrent burst size")
+    parser.add_argument(
+        "--append", type=int, default=0,
+        help="also POST this many single-row /v1/append batches "
+        "(flights schema; receipts carry journal seqs on a durable server)",
+    )
     parser.add_argument("--concurrency", type=int, default=8, help="client connections")
     parser.add_argument(
         "--startup-timeout", type=float, default=120.0, dest="startup_timeout",

@@ -34,7 +34,11 @@ from repro.api.envelopes import (
     VoiceRequest,
     response_from_dict,
 )
-from repro.api.errors import ServiceOverloadedError, VoiceApiError
+from repro.api.errors import (
+    MaintenanceUnavailableError,
+    ServiceOverloadedError,
+    VoiceApiError,
+)
 from repro.system.engine import VoiceResponse
 
 #: Bytes allowed in one HTTP response body before the client gives up.
@@ -55,6 +59,17 @@ class VoiceClient(Protocol):
 
     async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
         """Answer one voice request."""
+        ...
+
+    async def append(self, rows: list) -> dict[str, Any]:
+        """Queue appended rows for background maintenance.
+
+        ``rows`` are JSON-friendly (objects keyed by column name, or
+        arrays in schema order).  Returns the acceptance receipt
+        ``{"accepted_rows": n, "journal_seq": seq}`` — with durability
+        configured server-side, a returned receipt means the batch
+        survives crashes.
+        """
         ...
 
     async def metrics(self) -> dict[str, Any]:
@@ -88,6 +103,11 @@ class InProcessClient:
 
     async def ask(self, request: VoiceRequest | str) -> VoiceResponse:
         return await self._service.submit(_as_request(request))
+
+    async def append(self, rows: list) -> dict[str, Any]:
+        table = self._service.build_append_table(rows)
+        seq = self._service.request_append(table)
+        return {"accepted_rows": table.num_rows, "journal_seq": seq}
 
     async def metrics(self) -> dict[str, Any]:
         return self._service.metrics_summary()
@@ -226,6 +246,25 @@ class HttpClient:
         else:
             delay = min(1.0, self._retry_backoff * 2**attempt)
         return delay * (1.0 + 0.1 * self._jitter.random())
+
+    async def append(self, rows: list) -> dict[str, Any]:
+        status, payload, _ = await self._request(
+            "POST", "/v1/append", body={"rows": rows}
+        )
+        if status == 202:
+            return payload
+        if status == 503:
+            # Unlike /v1/ask overload, appends are not auto-retried: a
+            # breaker-open 503 will keep failing for the cooldown, and
+            # the caller owns the decision to buffer or drop.  Same
+            # exception type the in-process transport raises.
+            raise MaintenanceUnavailableError(
+                str(payload.get("error", "maintenance unavailable"))
+            )
+        raise VoiceApiError(
+            f"POST /v1/append failed with {status}: {payload.get('error', payload)}",
+            status=status,
+        )
 
     async def metrics(self) -> dict[str, Any]:
         return await self._get_json("/v1/metrics")

@@ -46,6 +46,20 @@ failpoints / failpoint_seed:
     Deterministic fault-injection specs (see
     :mod:`repro.reliability.faults`) installed when the service starts.
     Empty (default) injects nothing and the sites cost a dict probe.
+data_dir:
+    Directory for durable serving state (write-ahead journal +
+    checkpoints, see :mod:`repro.storage`).  ``None`` (default) serves
+    purely in memory; set, the service recovers from the directory at
+    construction and journals every accepted append before acking.
+journal_fsync:
+    fsync each journal record (machine-crash durable) instead of only
+    flushing it (process-crash durable).  Costs per-append latency.
+checkpoint_every_swaps / checkpoint_every_bytes:
+    Checkpoint policy: persist a checkpoint after this many snapshot
+    swaps, or once this many journal bytes accumulated since the last
+    checkpoint — whichever comes first.
+checkpoint_keep:
+    Checkpoints retained on disk (older ones are pruned).
 """
 
 from __future__ import annotations
@@ -84,6 +98,11 @@ class ServingConfig:
     breaker_cooldown_seconds: float = 1.0
     failpoints: tuple = ()
     failpoint_seed: int = 0
+    data_dir: str | None = None
+    journal_fsync: bool = False
+    checkpoint_every_swaps: int = 4
+    checkpoint_every_bytes: int = 4 * 1024 * 1024
+    checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
         # Accept any iterable of specs (the CLI hands over a list).
@@ -129,6 +148,20 @@ class ServingConfig:
             )
         if not all(isinstance(spec, str) and spec.strip() for spec in self.failpoints):
             raise ValueError("failpoints must be non-empty spec strings")
+        if self.data_dir is not None and not str(self.data_dir).strip():
+            raise ValueError("data_dir must be a non-empty path or None")
+        if self.checkpoint_every_swaps < 1:
+            raise ValueError(
+                f"checkpoint_every_swaps must be >= 1, got {self.checkpoint_every_swaps}"
+            )
+        if self.checkpoint_every_bytes < 1:
+            raise ValueError(
+                f"checkpoint_every_bytes must be >= 1, got {self.checkpoint_every_bytes}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
 
     @property
     def resolved_executor_workers(self) -> int:

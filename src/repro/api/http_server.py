@@ -17,6 +17,16 @@ Endpoints (the ``/v1`` public contract)
     ``request_id``.  ``400`` for malformed envelopes, ``503`` when
     admission control rejects the request (backpressure), ``500`` for
     unexpected engine errors.
+``POST /v1/append``
+    Body: ``{"rows": [...]}`` where each row is an object keyed by
+    column name or an array in schema order.  Queues the rows for
+    background maintenance and answers ``202 Accepted`` with
+    ``{"accepted_rows": n, "journal_seq": seq}`` — when the service
+    has a ``data_dir``, the batch is journaled before the 202, so the
+    ack is durable across crashes (``journal_seq`` is null otherwise).
+    ``400`` for rows that do not match the table schema, ``503`` with
+    code ``maintenance_unavailable`` while the maintenance circuit
+    breaker is open.
 ``GET /v1/metrics``
     The service's aggregate metrics summary
     (:meth:`repro.serving.service.ServiceMetrics.summary`) plus the
@@ -51,7 +61,7 @@ from typing import Any
 from urllib.parse import unquote
 
 from repro.api.envelopes import EnvelopeError, VoiceRequest, response_to_dict
-from repro.api.errors import ServiceOverloadedError
+from repro.api.errors import MaintenanceUnavailableError, ServiceOverloadedError
 from repro.reliability import faults
 
 #: Bytes allowed in one request body (voice transcripts are tiny; this
@@ -65,6 +75,7 @@ logger = logging.getLogger(__name__)
 
 _STATUS_TEXT = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -246,6 +257,13 @@ class VoiceHttpServer:
             if method != "POST":
                 return 405, {"code": "method_not_allowed", "error": "use POST for /v1/ask"}
             return await self._handle_ask(body)
+        if path == "/v1/append":
+            if method != "POST":
+                return 405, {
+                    "code": "method_not_allowed",
+                    "error": "use POST for /v1/append",
+                }
+            return self._handle_append(body)
         if path == "/v1/metrics":
             if method != "GET":
                 return 405, {"code": "method_not_allowed", "error": "use GET for /v1/metrics"}
@@ -301,6 +319,41 @@ class VoiceHttpServer:
             # bug; report it as one instead of dropping the connection.
             logger.exception("response envelope encoding failed for /v1/ask")
             return 500, {"code": "encode_failed", "error": "response encoding failed"}
+
+    def _handle_append(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return 400, {"code": "bad_json", "error": f"request body is not valid JSON: {exc}"}
+        rows = payload.get("rows") if isinstance(payload, dict) else None
+        if not isinstance(rows, list) or not rows:
+            return 400, {
+                "code": "bad_append",
+                "error": 'append body must be {"rows": [...]} with at least one row',
+            }
+        try:
+            table = self._service.build_append_table(rows)
+        except EnvelopeError as exc:
+            return 400, {"code": "bad_append", "error": str(exc)}
+        try:
+            seq = self._service.request_append(table)
+        except MaintenanceUnavailableError as exc:
+            return 503, {"code": "maintenance_unavailable", "error": str(exc)}
+        except faults.InjectedFault:
+            # A raising journal failpoint is a stand-in for a real
+            # journal-write failure; report it as one, not as draining
+            # (InjectedFault subclasses RuntimeError).
+            logger.exception("unhandled error accepting /v1/append")
+            return 500, {"code": "internal_error", "error": "internal server error"}
+        except RuntimeError as exc:
+            return 503, {"code": "draining", "error": str(exc)}
+        except Exception:
+            # Journal-write failures land here: the batch was NOT
+            # accepted (nothing persisted, nothing queued), which the
+            # 500 tells the client truthfully.
+            logger.exception("unhandled error accepting /v1/append")
+            return 500, {"code": "internal_error", "error": "internal server error"}
+        return 202, {"accepted_rows": table.num_rows, "journal_seq": seq}
 
     def _metrics_payload(self) -> dict[str, Any]:
         summary = self._service.metrics_summary()

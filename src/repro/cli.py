@@ -294,6 +294,10 @@ def _build_serving_config(args: argparse.Namespace):
         default_deadline_ms=args.deadline_ms,
         failpoints=tuple(args.failpoint),
         failpoint_seed=args.failpoint_seed,
+        data_dir=args.data_dir,
+        journal_fsync=args.journal_fsync,
+        checkpoint_every_swaps=args.checkpoint_every_swaps,
+        checkpoint_keep=args.checkpoint_keep,
     )
 
 
@@ -470,6 +474,75 @@ def _serve_http(args: argparse.Namespace, serving_config) -> int:
     return 1 if summary["errors"] else 0
 
 
+def command_recover(args: argparse.Namespace) -> int:
+    """Recover durable serving state from a ``serve --data-dir`` run.
+
+    Rebuilds the base engine exactly as the original serve run did
+    (same dataset/config arguments; ``--append-rows`` must match the
+    holdout the serve run used, 0 for ``serve --http`` runs), then
+    replays the data directory's newest valid checkpoint plus journal
+    into a recovered speech store and prints the recovery summary.
+
+    With ``--verify`` the state is recovered a second time by pure
+    journal replay from the base (checkpoints ignored) and the command
+    fails unless both paths produce byte-identical stores and tables —
+    the crash-recovery parity check the CI chaos smoke runs after a
+    SIGKILL.
+    """
+    from repro.serving.workload import holdout_split
+    from repro.storage import recover_state, table_to_payload
+    from repro.system.persistence import canonical_store_payload
+
+    dataset = load_dataset(args.dataset, num_rows=args.rows)
+    config = _build_config(args, dataset.spec)
+    base_table = dataset.table
+    if args.append_rows:
+        base_table, _ = holdout_split(dataset.table, args.append_rows)
+    engine = VoiceQueryEngine(
+        config,
+        base_table,
+        enable_advanced_queries=args.advanced,
+        use_shared_cube=args.shared_cube,
+    )
+    with _pool_scope(args) as pool:
+        engine.preprocess(
+            max_problems=args.max_problems, workers=args.workers, pool=pool
+        )
+
+    def recover(use_checkpoint: bool):
+        return recover_state(
+            args.data_dir,
+            engine.config,
+            base_store=engine.store,
+            base_table=engine.table,
+            summarizer=engine.summarizer,
+            realizer=engine.realizer,
+            use_checkpoint=use_checkpoint,
+        )
+
+    recovered = recover(use_checkpoint=True)
+    print(f"recovery: {json.dumps(recovered.summary(), sort_keys=True)}")
+    if not args.verify:
+        return 0
+    replayed = recover(use_checkpoint=False)
+    store_match = canonical_store_payload(recovered.store) == canonical_store_payload(
+        replayed.store
+    )
+    table_match = table_to_payload(recovered.table) == table_to_payload(replayed.table)
+    if not (store_match and table_match):
+        print(
+            "ERROR: checkpoint recovery diverged from pure journal replay "
+            f"(store match={store_match}, table match={table_match})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "verified: checkpoint recovery matches pure journal replay "
+        f"({len(recovered.store)} speeches, {recovered.table.num_rows} table rows)"
+    )
+    return 0
+
+
 def command_experiment(args: argparse.Namespace) -> int:
     """Run one named experiment and print its rows."""
     registry = _experiment_registry()
@@ -567,7 +640,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request latency budget; expired requests get a "
         "'timeout' response instead of queueing indefinitely",
     )
+    serve_parser.add_argument(
+        "--data-dir", default=None, dest="data_dir",
+        help="directory for durable serving state (write-ahead journal + "
+        "checkpoints); the service recovers from it at start and "
+        "journals every accepted append before acking",
+    )
+    serve_parser.add_argument(
+        "--journal-fsync", action="store_true", dest="journal_fsync",
+        help="fsync every journal record (machine-crash durable) instead "
+        "of flushing only (process-crash durable, the default)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=4, dest="checkpoint_every_swaps",
+        metavar="SWAPS", help="persist a checkpoint every N snapshot swaps",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-keep", type=int, default=3, dest="checkpoint_keep",
+        help="checkpoints retained on disk (older ones pruned)",
+    )
     serve_parser.set_defaults(handler=command_serve)
+
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="recover (and verify) durable serving state from a data directory",
+    )
+    _add_engine_arguments(recover_parser)
+    recover_parser.add_argument(
+        "--data-dir", required=True, dest="data_dir",
+        help="the data directory a `serve --data-dir` run wrote",
+    )
+    recover_parser.add_argument(
+        "--append-rows", type=int, default=0, dest="append_rows",
+        help="rows the original serve run held out of pre-processing as "
+        "its append stream (0 for `serve --http` runs, which "
+        "pre-process the whole dataset)",
+    )
+    recover_parser.add_argument(
+        "--verify", action="store_true",
+        help="also recover via pure journal replay (ignoring checkpoints) "
+        "and fail unless both paths produce byte-identical state",
+    )
+    recover_parser.set_defaults(handler=command_recover)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate a table/figure of the paper"

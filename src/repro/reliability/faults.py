@@ -27,9 +27,9 @@ Rules are written as compact specs, the same format the CLI's
 Keys: ``times`` (max fires; 0 = unlimited; default 1), ``after`` (skip
 the first N hits), ``every`` (of the eligible hits, fire each N-th),
 ``sleep`` (seconds, for sleeping sites), ``p`` (per-hit probability,
-resolved with the deterministic RNG), ``mode`` (``raise`` or ``sleep``
-— how :func:`inject` applies the rule; sites with caller-handled
-actions such as the worker crash ignore it).
+resolved with the deterministic RNG), ``mode`` (``raise``, ``sleep`` or
+``kill`` — how :func:`inject` applies the rule; sites with
+caller-handled actions such as the worker crash ignore it).
 
 The well-known sites
 --------------------
@@ -53,11 +53,36 @@ The well-known sites
 ``http.drop``
     Evaluated by the HTTP server after handling a request; a firing
     hit closes the connection without writing the response.
+``journal.write`` / ``journal.sync``
+    The write-ahead journal's durability boundary: ``journal.write``
+    fires *before* a record is written (a raising rule is a clean
+    journal failure — nothing persisted, the append never acked) and
+    ``journal.sync`` fires *after* the record is flushed but before the
+    caller is acked (a killing rule is the torn-ack crash: the record
+    is durable, the client never heard back, and recovery must replay
+    it).
+``swap.commit``
+    Fires in the maintenance scheduler immediately before the snapshot
+    swap publishes a finished build — the pre-swap crash site.
+``checkpoint.save``
+    Fires inside :class:`repro.storage.checkpoint.CheckpointManager`
+    after the temporary checkpoint files are written but before the
+    atomic rename — a killing rule leaves a half-written checkpoint
+    that recovery must ignore.
+``recover.replay``
+    Fires once per journal record replayed during startup recovery.
+
+Besides ``raise`` and ``sleep`` rules support ``mode=kill``: the
+process dies with SIGKILL at the site — no cleanup, no atexit, exactly
+the crash the durability layer must survive.  Kill rules are meant for
+subprocess crash tests (the parent observes exit status -9).
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -72,6 +97,11 @@ MAINTAIN_RAISE = "maintain.raise"
 OFFLOAD_SLOW = "serve.offload_slow"
 OFFLOAD_RAISE = "serve.offload_raise"
 HTTP_DROP = "http.drop"
+JOURNAL_WRITE = "journal.write"
+JOURNAL_SYNC = "journal.sync"
+SWAP_COMMIT = "swap.commit"
+CHECKPOINT_SAVE = "checkpoint.save"
+RECOVER_REPLAY = "recover.replay"
 
 #: Default sleep for sleeping sites when the spec gives no ``sleep=``.
 DEFAULT_SLEEP_SECONDS = 0.1
@@ -103,7 +133,7 @@ class FailpointRule:
     _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        if self.mode not in ("raise", "sleep"):
+        if self.mode not in ("raise", "sleep", "kill"):
             raise ValueError(f"failpoint {self.site!r}: unknown mode {self.mode!r}")
         if self.times < 0 or self.after < 0 or self.every < 1:
             raise ValueError(
@@ -132,9 +162,11 @@ class FailpointRule:
         return True
 
     def apply(self) -> None:
-        """Raise or sleep according to ``mode`` (for :func:`inject`)."""
+        """Raise, sleep or kill according to ``mode`` (for :func:`inject`)."""
         if self.mode == "sleep":
             time.sleep(self.sleep)
+        elif self.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
         else:
             raise InjectedFault(self.site, self.fired)
 

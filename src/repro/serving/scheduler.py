@@ -43,6 +43,16 @@ Shutdown is clean mid-job: :meth:`stop` lets the in-flight job finish
 cancels the still-queued batches.  Draining runs pending retries
 immediately (their backoff wait is skipped, their attempt budget is
 not).
+
+With a :class:`repro.storage.recovery.DurabilityCoordinator` attached,
+accepted batches additionally survive *process death*: every batch is
+journaled **before** :meth:`request_append` returns (the ack implies
+durability), marked applied after its snapshot swap commits, and
+marked dropped when retries are exhausted — so a restart replays
+exactly the accepted-but-unapplied batches.  Batches cancelled by
+``stop(drain=False)`` stay unapplied in the journal and are recovered
+on the next start: with durability on, a no-drain shutdown defers the
+work instead of discarding it.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ from repro.api.errors import MaintenanceUnavailableError
 from repro.relational.table import Table
 from repro.reliability import faults
 from repro.serving.snapshots import SnapshotRegistry
+from repro.storage.recovery import DurabilityCoordinator
 from repro.system.updates import IncrementalMaintainer, MaintenanceReport
 from repro.system.worker_pool import WorkerPool
 
@@ -109,6 +120,9 @@ class MaintenanceJob:
         Before the retry layer these rows vanished silently in
         ``rollback_table``; now every lost row is accounted for here
         and in the service metrics.
+    journal_seqs:
+        Write-ahead journal seqs of the job's batches (empty without a
+        durability coordinator).
     """
 
     index: int
@@ -121,6 +135,7 @@ class MaintenanceJob:
     seconds: float = 0.0
     attempt: int = 1
     dropped_rows: int = 0
+    journal_seqs: tuple[int, ...] = ()
 
 
 class MaintenanceScheduler:
@@ -159,6 +174,12 @@ class MaintenanceScheduler:
         probe append.
     retry_seed:
         Seed of the jitter RNG, so chaos runs back off identically.
+    durability:
+        Optional :class:`DurabilityCoordinator`.  When set, every
+        accepted batch is journaled before :meth:`request_append`
+        returns its seq, applied seqs are committed (and checkpoints
+        taken) after each swap, and exhausted payloads are marked
+        dropped — the scheduler's ack becomes a durable promise.
 
     The scheduler is asyncio-native: construct and drive it from one
     event loop (:meth:`start`, :meth:`request_append`, :meth:`stop`).
@@ -179,6 +200,7 @@ class MaintenanceScheduler:
         breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN_SECONDS,
         retry_seed: int = 0,
+        durability: DurabilityCoordinator | None = None,
     ):
         if retry_limit < 0:
             raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
@@ -199,11 +221,14 @@ class MaintenanceScheduler:
         self._breaker_threshold = int(breaker_threshold)
         self._breaker_cooldown = float(breaker_cooldown)
         self._jitter = random.Random(retry_seed)
-        self._pending: list[Table] = []
-        #: A failed payload awaiting retry: (rows, attempts so far,
-        #: earliest monotonic time the retry may run).  At most one —
-        #: jobs are serialized, so at most one payload can be failing.
-        self._retry: tuple[Table, int, float] | None = None
+        self._durability = durability
+        #: Queued batches as (journal seq or None, rows).
+        self._pending: list[tuple[int | None, Table]] = []
+        #: A failed payload awaiting retry: (rows, journal seqs,
+        #: attempts so far, earliest monotonic time the retry may run).
+        #: At most one — jobs are serialized, so at most one payload
+        #: can be failing.
+        self._retry: tuple[Table, tuple[int, ...], int, float] | None = None
         self._retry_count = 0
         self._retry_successes = 0
         self._dropped_rows = 0
@@ -316,8 +341,8 @@ class MaintenanceScheduler:
         if self._task is None:
             return
         self._closing = True
-        cancelled: list[Table] = []
-        dropped_retry: tuple[Table, int, float] | None = None
+        cancelled: list[tuple[int | None, Table]] = []
+        dropped_retry: tuple[Table, tuple[int, ...], int, float] | None = None
         if not drain:
             if self._pending:
                 cancelled, self._pending = self._pending, []
@@ -329,8 +354,12 @@ class MaintenanceScheduler:
         await self._task
         self._task = None
         if dropped_retry is not None:
-            payload, attempts, _ = dropped_retry
+            payload, seqs, attempts, _ = dropped_retry
             self._dropped_rows += payload.num_rows
+            if self._durability is not None and seqs:
+                # Dropped is durable too: a restart must not resurrect
+                # rows this run already declared lost.
+                self._durability.mark_dropped(seqs)
             self._jobs.append(
                 MaintenanceJob(
                     index=self._next_index(),
@@ -339,18 +368,25 @@ class MaintenanceScheduler:
                     status="cancelled",
                     attempt=attempts + 1,
                     dropped_rows=payload.num_rows,
+                    journal_seqs=seqs,
                 )
             )
         if cancelled:
             # Recorded only after the worker exited, so the in-flight
             # job (which finished first) keeps its earlier index and
-            # position in the job log.
+            # position in the job log.  Journaled-but-cancelled batches
+            # keep their unapplied journal records: the next start
+            # replays them, turning a no-drain shutdown into deferral
+            # rather than loss.
             self._jobs.append(
                 MaintenanceJob(
                     index=self._next_index(),
                     batches=len(cancelled),
-                    new_rows=_concat(cancelled),
+                    new_rows=_concat([rows for _, rows in cancelled]),
                     status="cancelled",
+                    journal_seqs=tuple(
+                        seq for seq, _ in cancelled if seq is not None
+                    ),
                 )
             )
         if self._executor is not None:
@@ -360,12 +396,19 @@ class MaintenanceScheduler:
     # ------------------------------------------------------------------
     # Job submission
     # ------------------------------------------------------------------
-    def request_append(self, new_rows: Table) -> None:
+    def request_append(self, new_rows: Table) -> int | None:
         """Queue appended rows for background maintenance (re-entrant).
 
         Returns immediately; the rows are folded into the next job.
         Batches queued while a job is running are coalesced into one
         follow-up job.  Empty batches are ignored.
+
+        With a durability coordinator the batch is journaled before
+        this returns — the return value is its journal seq (None for
+        empty batches or without durability), and a batch whose seq
+        was returned survives any subsequent crash.  A journal-write
+        failure raises before the batch is queued: nothing was
+        promised, nothing was accepted.
 
         Raises :class:`MaintenanceUnavailableError` while the circuit
         breaker is open (``breaker_threshold`` consecutive failures,
@@ -381,10 +424,14 @@ class MaintenanceScheduler:
                 f"{self._consecutive_failures} consecutive failures"
             )
         if new_rows.num_rows == 0:
-            return
-        self._pending.append(new_rows)
+            return None
+        seq = None
+        if self._durability is not None:
+            seq = self._durability.log_append(new_rows)
+        self._pending.append((seq, new_rows))
         self._idle.clear()
         self._wake.set()
+        return seq
 
     async def quiesce(self) -> None:
         """Wait until every queued batch has been maintained and swapped."""
@@ -407,14 +454,18 @@ class MaintenanceScheduler:
                     # in ``_retry`` (visible to ``retry_pending`` and
                     # cancellable by a no-drain stop) until its backoff
                     # has fully elapsed.
-                    payload, attempts, ready_at = self._retry
+                    payload, seqs, attempts, ready_at = self._retry
                     await self._await_backoff(ready_at)
                     if self._retry is None:
                         continue  # cancelled by stop(drain=False) mid-wait
                     self._retry = None
                     self._retry_count += 1
                     await self._run_job(
-                        loop, [payload], payload=payload, attempt=attempts + 1
+                        loop,
+                        [(None, payload)],
+                        payload=payload,
+                        seqs=seqs,
+                        attempt=attempts + 1,
                     )
                     continue
                 batches, self._pending = self._pending, []
@@ -450,16 +501,24 @@ class MaintenanceScheduler:
     async def _run_job(
         self,
         loop: asyncio.AbstractEventLoop,
-        batches: list[Table],
+        batches: list[tuple[int | None, Table]],
         payload: Table | None = None,
+        seqs: tuple[int, ...] | None = None,
         attempt: int = 1,
     ) -> None:
         job = MaintenanceJob(
             index=self._next_index(),
             batches=len(batches),
-            new_rows=_concat(batches) if payload is None else payload,
+            new_rows=(
+                _concat([rows for _, rows in batches]) if payload is None else payload
+            ),
             status="running",
             attempt=attempt,
+            journal_seqs=(
+                tuple(seq for seq, _ in batches if seq is not None)
+                if seqs is None
+                else seqs
+            ),
         )
         self._active_job = job
         start = time.perf_counter()
@@ -468,12 +527,30 @@ class MaintenanceScheduler:
             build, job.report = await loop.run_in_executor(
                 self._executor, self._maintain, job.new_rows
             )
+            # The swap.commit failpoint fires with the build finished
+            # but unpublished — the worst crash site for durability: a
+            # killing rule loses the maintained state *after* the work
+            # (journaled batches must be replayed), a raising rule
+            # exercises rollback + retry with the journal intact.
+            faults.FAILPOINTS.inject(faults.SWAP_COMMIT)
             job.snapshot_version = self._registry.swap(build).version
             job.status = "completed"
             self._consecutive_failures = 0
             self._breaker_opened_at = None
             if attempt > 1:
                 self._retry_successes += 1
+            if self._durability is not None and job.journal_seqs:
+                # On the executor thread: marking applied may trigger a
+                # checkpoint, which serialises the whole store — never
+                # on the event loop.
+                await loop.run_in_executor(
+                    self._executor,
+                    self._durability.commit_applied,
+                    job.journal_seqs,
+                    build,
+                    self._maintainer.table,
+                    job.snapshot_version,
+                )
             if self._on_swap is not None:
                 await loop.run_in_executor(
                     self._executor, self._on_swap, self._maintainer.table
@@ -501,10 +578,19 @@ class MaintenanceScheduler:
         if attempt <= self._retry_limit:
             delay = min(self._backoff_cap, self._backoff_base * 2 ** (attempt - 1))
             delay *= 1.0 + 0.1 * self._jitter.random()
-            self._retry = (job.new_rows, attempt, time.monotonic() + delay)
+            self._retry = (
+                job.new_rows,
+                job.journal_seqs,
+                attempt,
+                time.monotonic() + delay,
+            )
         else:
             job.dropped_rows = job.new_rows.num_rows
             self._dropped_rows += job.dropped_rows
+            if self._durability is not None and job.journal_seqs:
+                # The journal must agree the rows are gone, or the next
+                # restart would replay batches this run declared lost.
+                self._durability.mark_dropped(job.journal_seqs)
 
     def _maintain(self, new_rows: Table):
         """One maintenance pass (runs entirely on the scheduler thread).

@@ -52,13 +52,19 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.api.config import DEFAULT_LATENCY_WINDOW, ServingConfig
-from repro.api.envelopes import VoiceRequest
+from repro.api.envelopes import EnvelopeError, VoiceRequest
 from repro.api.errors import ServiceOverloadedError
+from repro.relational.errors import SchemaError, TypeMismatchError
 from repro.api.sessions import SessionStore
 from repro.relational.table import Table
 from repro.reliability import faults
 from repro.serving.scheduler import MaintenanceScheduler
 from repro.serving.snapshots import SnapshotRegistry, StoreSnapshot
+from repro.storage.recovery import (
+    DurabilityCoordinator,
+    RecoveredState,
+    recover_state,
+)
 from repro.system.classification import RequestType
 from repro.system.engine import ResponseKind, VoiceQueryEngine, VoiceResponse
 from repro.system.nlq import ParsedRequest
@@ -238,6 +244,44 @@ class VoiceService:
         self._sessions = (
             sessions if sessions is not None else SessionStore(config.session_capacity)
         )
+        self._durability: DurabilityCoordinator | None = None
+        self._recovery: RecoveredState | None = None
+        if config.data_dir is not None:
+            if config.failpoints:
+                # Recovery-boundary failpoints (recover.replay) must be
+                # live before the replay below, not only at start().
+                faults.FAILPOINTS.ensure(config.failpoints, seed=config.failpoint_seed)
+            # Recover durable state *before* seeding the first snapshot
+            # and the maintainer, so both see the journal's appends.
+            recovered = recover_state(
+                config.data_dir,
+                engine.config,
+                base_store=engine.store,
+                base_table=engine.table,
+                summarizer=engine.summarizer,
+                realizer=engine.realizer,
+            )
+            engine.swap_store(recovered.store)
+            if recovered.table is not engine.table:
+                engine.adopt_table(recovered.table)
+            self._recovery = recovered
+            self._durability = DurabilityCoordinator(
+                config.data_dir,
+                fsync=config.journal_fsync,
+                checkpoint_every_swaps=config.checkpoint_every_swaps,
+                checkpoint_every_bytes=config.checkpoint_every_bytes,
+                checkpoint_keep=config.checkpoint_keep,
+                next_seq=recovered.next_seq,
+                truncate_at=recovered.journal_offset,
+                applied_seq=recovered.applied_seq,
+            )
+            if recovered.replayed_records:
+                # Fold the replayed records into a fresh checkpoint so
+                # the next restart (and every crash until the first
+                # policy checkpoint) replays nothing twice.
+                self._durability.checkpoint_now(
+                    recovered.store, recovered.table, store_version=0
+                )
         self._registry = SnapshotRegistry(engine.store)
         self._scheduler = MaintenanceScheduler(
             maintainer
@@ -256,6 +300,7 @@ class VoiceService:
             breaker_threshold=config.breaker_threshold,
             breaker_cooldown=config.breaker_cooldown_seconds,
             retry_seed=config.failpoint_seed,
+            durability=self._durability,
             # After every swap the engine re-derives its table-bound
             # components (parser lexicon, advanced answerers), so
             # requests naming dimension values introduced by the
@@ -304,6 +349,16 @@ class VoiceService:
         return self._metrics
 
     @property
+    def durability(self) -> DurabilityCoordinator | None:
+        """The durability coordinator (None without ``data_dir``)."""
+        return self._durability
+
+    @property
+    def recovery(self) -> RecoveredState | None:
+        """What construction-time recovery rebuilt (None without ``data_dir``)."""
+        return self._recovery
+
+    @property
     def running(self) -> bool:
         """True between :meth:`start` and :meth:`stop`."""
         return self._running
@@ -330,15 +385,19 @@ class VoiceService:
             "maintenance_retry_successes": scheduler.retry_successes,
             "maintenance_dropped_rows": scheduler.dropped_rows_total,
             "maintenance_consecutive_failures": scheduler.consecutive_failures,
+            "retry_pending": scheduler.retry_pending,
             "breaker_state": scheduler.breaker_state,
             "worker_respawns": pool.respawn_count if pool is not None else 0,
             "pool_degraded": pool.degraded if pool is not None else False,
         }
 
     def metrics_summary(self) -> dict:
-        """:meth:`ServiceMetrics.summary` plus the reliability taxonomy."""
+        """:meth:`ServiceMetrics.summary` plus reliability + durability."""
         summary = self._metrics.summary()
         summary["reliability"] = self.reliability()
+        summary["durability"] = (
+            self._durability.stats() if self._durability is not None else None
+        )
         return summary
 
     def health(self) -> dict:
@@ -367,6 +426,13 @@ class VoiceService:
         dropped = self._scheduler.dropped_rows_total
         if dropped:
             reasons.append(f"{dropped} appended rows dropped after retry exhaustion")
+        if self._durability is not None and self._durability.last_checkpoint_error:
+            # Not data loss (the journal still covers everything), but
+            # recovery time grows until a checkpoint lands again.
+            reasons.append(
+                "last checkpoint save failed: "
+                f"{self._durability.last_checkpoint_error}"
+            )
         return {"status": "degraded" if reasons else "ok", "reasons": reasons}
 
     # ------------------------------------------------------------------
@@ -429,6 +495,17 @@ class VoiceService:
             # Safety net: the on_swap hook normally keeps the engine's
             # table current; catch any path that bypassed it.
             self._engine.adopt_table(self._scheduler.table)
+        if self._durability is not None:
+            stats = self._durability.stats()
+            if stats["applied_seq"] > stats["last_checkpoint_seq"]:
+                # A clean shutdown checkpoints the final state so the
+                # next start replays nothing.
+                self._durability.checkpoint_now(
+                    self._registry.current.store,
+                    self._scheduler.table,
+                    self._registry.version,
+                )
+            self._durability.close()
 
     # ------------------------------------------------------------------
     # Request path
@@ -461,9 +538,44 @@ class VoiceService:
         self._queue.put_nowait((request, future, time.perf_counter()))
         return await future
 
-    def request_append(self, new_rows: Table) -> None:
-        """Queue appended rows for background maintenance (no pause)."""
-        self._scheduler.request_append(new_rows)
+    def request_append(self, new_rows: Table) -> int | None:
+        """Queue appended rows for background maintenance (no pause).
+
+        With durability configured (``config.data_dir``) the batch is
+        journaled before this returns and the return value is its
+        journal seq — the ack is a durable promise.  Without it, None.
+        """
+        return self._scheduler.request_append(new_rows)
+
+    def build_append_table(self, rows: list) -> Table:
+        """Build an append batch from JSON-friendly rows (wire ingress).
+
+        ``rows`` is a list of objects keyed by column name (extra keys
+        ignored) or arrays in schema order, validated against the
+        *current* maintained table's schema.  Raises
+        :class:`EnvelopeError` on any mismatch, so transports can map
+        it to a 400 instead of a scheduler crash.
+        """
+        schema = self._scheduler.table
+        names = schema.column_names
+        types = [column.ctype for column in schema.columns]
+        materialized = []
+        for row in rows:
+            if isinstance(row, dict):
+                missing = [name for name in names if name not in row]
+                if missing:
+                    raise EnvelopeError(f"append row is missing columns {missing}")
+                materialized.append([row[name] for name in names])
+            elif isinstance(row, (list, tuple)):
+                materialized.append(list(row))
+            else:
+                raise EnvelopeError(
+                    f"append row must be an object or array, got {type(row).__name__}"
+                )
+        try:
+            return Table.from_rows(schema.name, names, types, materialized)
+        except (SchemaError, TypeMismatchError) as exc:
+            raise EnvelopeError(f"append rows do not match the table schema: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Workers

@@ -61,6 +61,35 @@ def store_to_dict(store: SpeechStore, config: SummarizationConfig | None = None)
     return payload
 
 
+def canonical_store_payload(
+    store: SpeechStore, config: SummarizationConfig | None = None
+) -> bytes:
+    """Serialise a speech store to canonical bytes (sorted keys, compact).
+
+    Deterministic: the same store contents — including iteration order,
+    which :class:`SpeechStore` preserves by insertion — always produce
+    the same bytes, so checkpoints can be checksummed and two recovery
+    paths can be compared byte-for-byte (the durability layer's parity
+    oracle).
+    """
+    return json.dumps(
+        store_to_dict(store, config), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def store_from_payload(
+    payload: bytes | str,
+) -> tuple[SpeechStore, SummarizationConfig | None]:
+    """Rebuild a store from :func:`canonical_store_payload` bytes."""
+    if isinstance(payload, bytes):
+        payload = payload.decode("utf-8")
+    try:
+        decoded = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError("speech store payload is not valid JSON") from exc
+    return store_from_dict(decoded)
+
+
 def save_store(
     store: SpeechStore,
     path: str | Path,

@@ -1,0 +1,181 @@
+"""POST /v1/append over both transports, with and without durability."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import HttpClient, InProcessClient, VoiceHttpServer, VoiceRequest
+from repro.api.errors import VoiceApiError
+from repro.reliability import FAILPOINTS
+from repro.serving import VoiceService
+from repro.system.persistence import canonical_store_payload
+
+ROW = {"region": "East", "season": "Winter", "delay": 55.0}
+
+
+def run_with_server(engine, scenario, **service_kwargs):
+    """Run ``scenario(service, server, client)`` against a live stack."""
+
+    async def main():
+        async with VoiceService(engine, concurrency=2, **service_kwargs) as service:
+            async with VoiceHttpServer(service) as server:
+                async with HttpClient(server.host, server.port) as client:
+                    return await scenario(service, server, client)
+
+    return asyncio.run(main())
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.clear()
+    yield
+    FAILPOINTS.clear()
+
+
+class TestAppendRoute:
+    def test_accepts_object_rows(self, engine):
+        async def scenario(service, server, client):
+            receipt = await client.append([ROW, {**ROW, "season": "Summer"}])
+            await service.scheduler.quiesce()
+            return receipt, service.registry.version
+
+        receipt, version = run_with_server(engine, scenario)
+        assert receipt == {"accepted_rows": 2, "journal_seq": None}
+        assert version == 1
+
+    def test_accepts_array_rows_in_schema_order(self, engine):
+        async def scenario(service, server, client):
+            return await client.append([["East", "Winter", 55.0]])
+
+        receipt = run_with_server(engine, scenario)
+        assert receipt["accepted_rows"] == 1
+
+    def test_empty_rows_is_400(self, engine):
+        async def scenario(service, server, client):
+            with pytest.raises(VoiceApiError) as excinfo:
+                await client.append([])
+            return excinfo.value
+
+        assert run_with_server(engine, scenario).status == 400
+
+    def test_missing_column_is_400(self, engine):
+        async def scenario(service, server, client):
+            with pytest.raises(VoiceApiError) as excinfo:
+                await client.append([{"region": "East"}])
+            return excinfo.value
+
+        error = run_with_server(engine, scenario)
+        assert error.status == 400
+        assert "missing columns" in str(error)
+
+    def test_scalar_row_is_400(self, engine):
+        async def scenario(service, server, client):
+            with pytest.raises(VoiceApiError) as excinfo:
+                await client.append(["not-a-row"])
+            return excinfo.value
+
+        assert run_with_server(engine, scenario).status == 400
+
+    def test_get_method_is_405(self, engine):
+        async def scenario(service, server, client):
+            status, payload, _ = await client._request("GET", "/v1/append")
+            return status, payload
+
+        status, payload = run_with_server(engine, scenario)
+        assert status == 405
+        assert payload["code"] == "method_not_allowed"
+
+    def test_in_process_client_matches_http(self, engine):
+        async def main():
+            async with VoiceService(engine, concurrency=2) as service:
+                client = InProcessClient(service)
+                return await client.append([ROW])
+
+        assert asyncio.run(main()) == {"accepted_rows": 1, "journal_seq": None}
+
+
+class TestDurableAppend:
+    def test_receipts_carry_monotonic_journal_seqs(self, engine, tmp_path):
+        async def scenario(service, server, client):
+            first = await client.append([ROW])
+            second = await client.append([{**ROW, "season": "Summer"}])
+            await service.scheduler.quiesce()
+            return first, second, await client.metrics()
+
+        first, second, metrics = run_with_server(
+            engine, scenario, data_dir=str(tmp_path)
+        )
+        assert first["journal_seq"] == 1
+        assert second["journal_seq"] == 2
+        durability = metrics["durability"]
+        assert durability["data_dir"] == str(tmp_path)
+        assert durability["next_seq"] == 3
+        assert durability["applied_seq"] == 2
+
+    def test_journal_failure_rejects_batch_without_acking(self, engine, tmp_path):
+        async def scenario(service, server, client):
+            with pytest.raises(VoiceApiError) as excinfo:
+                await client.append([ROW])
+            receipt = await client.append([ROW])
+            return excinfo.value, receipt
+
+        error, receipt = run_with_server(
+            engine,
+            scenario,
+            data_dir=str(tmp_path),
+            failpoints=("journal.write:times=1",),
+        )
+        # The failed batch was never persisted nor acked; the journal
+        # seq was not consumed.
+        assert error.status == 500
+        assert receipt["journal_seq"] == 1
+
+    def test_clean_restart_recovers_identical_store(
+        self, engine, twin_engine, tmp_path
+    ):
+        async def first_life(service, server, client):
+            await client.append([ROW])
+            await client.append([{**ROW, "season": "Summer", "delay": 5.0}])
+            await service.scheduler.quiesce()
+            return canonical_store_payload(service.registry.current.store)
+
+        final_payload = run_with_server(engine, first_life, data_dir=str(tmp_path))
+
+        async def second_life():
+            async with VoiceService(
+                twin_engine, concurrency=2, data_dir=str(tmp_path)
+            ) as service:
+                recovery = service.recovery
+                payload = canonical_store_payload(service.registry.current.store)
+                response = await service.submit(
+                    VoiceRequest(text="what is the delay for East")
+                )
+                return recovery, payload, response
+
+        recovery, payload, response = asyncio.run(second_life())
+        assert payload == final_payload
+        assert response.text
+        # The clean stop checkpointed the final state, so the second
+        # boot replays nothing.
+        assert recovery.replayed_records == 0
+        assert recovery.checkpoint is not None
+
+    def test_metrics_surface_reliability_counters(self, engine, tmp_path):
+        async def scenario(service, server, client):
+            return await client.metrics(), await client.health()
+
+        metrics, health = run_with_server(engine, scenario, data_dir=str(tmp_path))
+        reliability = metrics["reliability"]
+        for key in (
+            "retry_pending",
+            "breaker_state",
+            "worker_respawns",
+            "pool_degraded",
+            "maintenance_dropped_rows",
+        ):
+            assert key in reliability
+        assert reliability["breaker_state"] == "closed"
+        assert reliability["retry_pending"] is False
+        assert health["status"] == "ok"

@@ -1,0 +1,1 @@
+"""Tests for the durability layer (journal, checkpoints, recovery)."""

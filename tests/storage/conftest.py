@@ -1,0 +1,29 @@
+"""Shared fixtures for the durability tests.
+
+Mirrors the reliability package: every test runs against a clean
+failpoint registry (the registry is process-global), and the engine
+fixtures reuse the running-example serving helpers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import FAILPOINTS
+from repro.system.engine import VoiceQueryEngine
+
+from tests.serving.conftest import append_table, make_config, make_engine  # noqa: F401
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    """No chaos bleeds between tests (or out of this package)."""
+    FAILPOINTS.clear()
+    yield
+    FAILPOINTS.clear()
+
+
+@pytest.fixture()
+def engine(example_table) -> VoiceQueryEngine:
+    """A pre-processed engine over the running-example table."""
+    return make_engine(example_table)
