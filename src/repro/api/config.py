@@ -12,6 +12,12 @@ Fields
 ------
 concurrency:
     Service worker tasks = maximum in-flight requests (>= 1).
+shards:
+    Worker processes in a sharded deployment (>= 1; the default 1
+    serves from a single process).  Values above 1 are consumed by
+    :class:`repro.serving.sharding.ShardManager`, which spawns one
+    full engine per shard behind a consistent-hash router; each shard
+    then serves with a copy of this config (``shards`` reset to 1).
 max_queue_depth:
     Requests allowed to wait for a worker before ``submit`` rejects
     with ``ServiceOverloadedError`` (>= 0; 0 = no waiting room).
@@ -84,6 +90,7 @@ class ServingConfig:
 
     concurrency: int = 8
     max_queue_depth: int = 64
+    shards: int = 1
     executor_workers: int | None = None
     maintenance_workers: int = 0
     latency_window: int = DEFAULT_LATENCY_WINDOW
@@ -111,6 +118,8 @@ class ServingConfig:
             raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
         if self.max_queue_depth < 0:
             raise ValueError(f"max_queue_depth must be >= 0, got {self.max_queue_depth}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError(
                 f"executor_workers must be >= 1 or None, got {self.executor_workers}"

@@ -31,6 +31,11 @@ Endpoints (the ``/v1`` public contract)
     The service's aggregate metrics summary
     (:meth:`repro.serving.service.ServiceMetrics.summary`) plus the
     current snapshot version and live session count.
+``GET /v1/store/digest``
+    A sha256 digest of the current snapshot's canonical store payload
+    (single service), or every shard's digest plus a ``consistent``
+    flag (sharded backend) — the byte-parity probe for snapshot
+    barriers.
 ``GET /v1/sessions/<id>``
     Summary of one session (request count, timestamps, last response
     envelope); ``404`` for unknown or evicted sessions.
@@ -55,6 +60,7 @@ responses carry a ``Retry-After`` hint so well-behaved clients back off.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import logging
 from typing import Any
@@ -83,6 +89,18 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+async def _maybe_await(value):
+    """Resolve a backend result that may be a coroutine.
+
+    The server fronts either a :class:`VoiceService` (sync accessors)
+    or a :class:`repro.serving.sharding.ShardManager` (fan-out
+    accessors are coroutines); this keeps the routing code shared.
+    """
+    if inspect.isawaitable(value):
+        return await value
+    return value
 
 
 class VoiceHttpServer:
@@ -263,11 +281,18 @@ class VoiceHttpServer:
                     "code": "method_not_allowed",
                     "error": "use POST for /v1/append",
                 }
-            return self._handle_append(body)
+            return await self._handle_append(body)
         if path == "/v1/metrics":
             if method != "GET":
                 return 405, {"code": "method_not_allowed", "error": "use GET for /v1/metrics"}
-            return 200, self._metrics_payload()
+            return 200, await self._metrics_payload()
+        if path == "/v1/store/digest":
+            if method != "GET":
+                return 405, {
+                    "code": "method_not_allowed",
+                    "error": "use GET for /v1/store/digest",
+                }
+            return 200, await _maybe_await(self._service.store_digest())
         if path.startswith("/v1/sessions/"):
             if method != "GET":
                 return 405, {
@@ -275,7 +300,7 @@ class VoiceHttpServer:
                     "error": "use GET for /v1/sessions/<id>",
                 }
             session_id = unquote(path[len("/v1/sessions/"):])
-            summary = self._service.sessions.describe(session_id)
+            summary = await _maybe_await(self._service.sessions.describe(session_id))
             if summary is None:
                 return 404, {"code": "unknown_session", "error": f"unknown session {session_id!r}"}
             return 200, summary
@@ -290,7 +315,18 @@ class VoiceHttpServer:
             return status, health
         return 404, {"code": "not_found", "error": f"no route for {path}"}
 
-    async def _handle_ask(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    async def _handle_ask(self, body: bytes) -> tuple[int, dict[str, Any] | bytes]:
+        relay = getattr(self._service, "relay_ask", None)
+        if relay is not None:
+            # Sharded backend: hand the raw body to the router and the
+            # shard's raw response bytes straight back — the router
+            # never decodes the envelope, so one front process can
+            # carry the aggregate throughput of many shards.
+            try:
+                return await relay(body)
+            except Exception:
+                logger.exception("shard relay failed for /v1/ask")
+                return 500, {"code": "internal_error", "error": "internal server error"}
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -320,7 +356,7 @@ class VoiceHttpServer:
             logger.exception("response envelope encoding failed for /v1/ask")
             return 500, {"code": "encode_failed", "error": "response encoding failed"}
 
-    def _handle_append(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    async def _handle_append(self, body: bytes) -> tuple[int, dict[str, Any]]:
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -336,7 +372,7 @@ class VoiceHttpServer:
         except EnvelopeError as exc:
             return 400, {"code": "bad_append", "error": str(exc)}
         try:
-            seq = self._service.request_append(table)
+            seq = await _maybe_await(self._service.request_append(table))
         except MaintenanceUnavailableError as exc:
             return 503, {"code": "maintenance_unavailable", "error": str(exc)}
         except faults.InjectedFault:
@@ -355,8 +391,8 @@ class VoiceHttpServer:
             return 500, {"code": "internal_error", "error": "internal server error"}
         return 202, {"accepted_rows": table.num_rows, "journal_seq": seq}
 
-    def _metrics_payload(self) -> dict[str, Any]:
-        summary = self._service.metrics_summary()
+    async def _metrics_payload(self) -> dict[str, Any]:
+        summary = await _maybe_await(self._service.metrics_summary())
         summary["snapshot_version"] = self._service.registry.version
         summary["sessions"] = len(self._service.sessions)
         summary["queue_depth"] = self._service.queue_depth
@@ -369,11 +405,17 @@ class VoiceHttpServer:
     def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: dict[str, Any] | bytes,
         keep_alive: bool,
     ) -> None:
         try:
-            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+            # Relayed shard responses arrive pre-encoded; frame them
+            # as-is instead of decoding and re-encoding JSON.
+            body = (
+                bytes(payload)
+                if isinstance(payload, (bytes, bytearray))
+                else json.dumps(payload, allow_nan=False).encode("utf-8")
+            )
         except (TypeError, ValueError) as exc:
             # A payload json can't encode (non-finite metric, stray
             # object) must still answer — a raised ValueError here would

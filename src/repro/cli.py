@@ -287,6 +287,7 @@ def _build_serving_config(args: argparse.Namespace):
     return ServingConfig(
         concurrency=args.concurrency,
         max_queue_depth=args.queue_depth,
+        shards=getattr(args, "shards", 1),
         maintenance_workers=args.workers,
         session_capacity=args.session_capacity,
         http_host=args.http_host,
@@ -328,6 +329,9 @@ def command_serve(args: argparse.Namespace) -> int:
     from repro.system.engine import VoiceQueryEngine as Engine
 
     serving_config = _build_serving_config(args)
+    if serving_config.shards > 1 and args.http is None:
+        print("ERROR: --shards requires --http (the sharded tier is a network deployment)", file=sys.stderr)
+        return 2
     if args.http is not None:
         return _serve_http(args, serving_config)
 
@@ -435,25 +439,43 @@ def _serve_http(args: argparse.Namespace, serving_config) -> int:
     import signal
 
     from repro.api.http_server import VoiceHttpServer
-    from repro.serving import VoiceService
+    from repro.serving import ShardManager, VoiceService
 
     engine = _build_engine(args)
+    sharded = serving_config.shards > 1
 
     async def run(pool) -> dict:
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(signum, stop.set)
-        async with VoiceService(engine, serving_config, pool=pool) as service:
+        backend = (
+            ShardManager(engine, serving_config)
+            if sharded
+            else VoiceService(engine, serving_config, pool=pool)
+        )
+        async with backend:
             async with VoiceHttpServer(
-                service,
+                backend,
                 host=serving_config.http_host,
                 port=serving_config.http_port,
             ) as server:
-                print(f"listening on {server.address} (/v1/ask)", flush=True)
+                if sharded:
+                    print(
+                        f"listening on {server.address} (/v1/ask, "
+                        f"{serving_config.shards} shards on ports "
+                        f"{backend.shard_ports()})",
+                        flush=True,
+                    )
+                else:
+                    print(f"listening on {server.address} (/v1/ask)", flush=True)
                 await stop.wait()
                 print("signal received, shutting down", flush=True)
-            return service.metrics.summary()
+            if sharded:
+                summary = await backend.metrics_summary()
+                summary["rejected"] = summary.get("rejected", 0)
+                return summary
+            return backend.metrics.summary()
 
     with _pool_scope(args) as pool:
         report = engine.preprocess(
@@ -630,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--http-host", default="127.0.0.1", dest="http_host",
         help="bind address for --http (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes behind the HTTP router (requires --http; "
+        "1 = single-process serving, N > 1 spawns one engine per shard "
+        "with consistent-hash session affinity)",
     )
     serve_parser.add_argument(
         "--session-capacity", type=int, default=1024, dest="session_capacity",

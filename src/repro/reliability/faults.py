@@ -71,6 +71,13 @@ The well-known sites
     that recovery must ignore.
 ``recover.replay``
     Fires once per journal record replayed during startup recovery.
+``shard.crash``
+    Evaluated by the :class:`repro.serving.sharding.ShardManager`
+    router before forwarding a request; a firing hit SIGKILLs the
+    routed shard process, and the request must fail over to a healthy
+    shard while the supervisor respawns the dead one.  (Router-side
+    evaluation keeps the counters in one process, like
+    ``worker.crash``.)
 
 Besides ``raise`` and ``sleep`` rules support ``mode=kill``: the
 process dies with SIGKILL at the site — no cleanup, no atexit, exactly
@@ -102,6 +109,7 @@ JOURNAL_SYNC = "journal.sync"
 SWAP_COMMIT = "swap.commit"
 CHECKPOINT_SAVE = "checkpoint.save"
 RECOVER_REPLAY = "recover.replay"
+SHARD_CRASH = "shard.crash"
 
 #: Default sleep for sleeping sites when the spec gives no ``sleep=``.
 DEFAULT_SLEEP_SECONDS = 0.1

@@ -400,6 +400,25 @@ class VoiceService:
         )
         return summary
 
+    def store_digest(self) -> dict:
+        """A digest of the current snapshot's canonical store payload.
+
+        ``sha256`` over :func:`canonical_store_payload`, so two
+        services whose stores are byte-identical report the same
+        digest — the cross-shard parity probe the sharded deployment
+        polls after every snapshot barrier.
+        """
+        import hashlib
+
+        from repro.system.persistence import canonical_store_payload
+
+        payload = canonical_store_payload(self._registry.current.store)
+        return {
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "snapshot_version": self._registry.version,
+            "speeches": len(self._registry.current.store),
+        }
+
     def health(self) -> dict:
         """Service health: ``ok``, ``degraded`` or ``draining`` + reasons.
 

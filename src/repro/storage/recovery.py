@@ -288,6 +288,20 @@ class DurabilityCoordinator:
             if due:
                 self._checkpoint(store, table, store_version)
 
+    def mark_applied(self, seqs: Sequence[int], store_version: int) -> None:
+        """Record an applied group without checkpointing.
+
+        For coordinators that own the journal but not the maintained
+        store (the shard router: its stores live in worker processes).
+        The marker preserves replay's job grouping; skipping the policy
+        checkpoint only costs recovery time — the watermark stays at
+        the last checkpoint and replay covers the rest of the journal.
+        """
+        with self._lock:
+            self._journal.mark_applied(seqs, store_version)
+            if seqs:
+                self._applied_seq = max(self._applied_seq, max(int(s) for s in seqs))
+
     def mark_dropped(self, seqs: Sequence[int]) -> None:
         """Record seqs whose rows the scheduler permanently gave up on."""
         with self._lock:
