@@ -15,6 +15,15 @@ should stay ~flat as the store grows while the linear scan degrades
 linearly.  Results are emitted as JSON (stdout, and optionally a file);
 the run fails if the two paths ever disagree on a lookup.
 
+The ``compact`` phase additionally prices the columnar
+:class:`repro.store.CompactSpeechStore` against the dict store it
+mirrors: bytes per speech (deep-traversed object bytes vs. the compact
+arena bytes vs. the frozen file), freeze/attach wall time, and lookup
+latency on the identical query stream — with every sampled lookup
+verified byte-identical between the two implementations.  The full
+sweep sizes this phase at 10^5-10^6 speeches (a wider synthetic
+vocabulary than the scaling sweep, which needs only ~16k keys).
+
 Usage::
 
     python benchmarks/bench_serving.py             # full sweep
@@ -44,17 +53,28 @@ NUM_DIMENSIONS = 6
 VALUES_PER_DIMENSION = 14
 TARGET = "target"
 
+#: Vocabulary for the ``compact`` phase: 8 dims x 32 values enumerate
+#: ~1.86M keys at lengths 0-3, enough for the 10^6-speech rung.
+COMPACT_DIMENSIONS = 8
+COMPACT_VALUES = 32
 
-def _vocabulary() -> dict[str, list[str]]:
+
+def _vocabulary(
+    dims: int = NUM_DIMENSIONS, values: int = VALUES_PER_DIMENSION
+) -> dict[str, list[str]]:
     return {
-        f"dim{d}": [f"dim{d}_v{v}" for v in range(VALUES_PER_DIMENSION)]
-        for d in range(NUM_DIMENSIONS)
+        f"dim{d}": [f"dim{d}_v{v}" for v in range(values)] for d in range(dims)
     }
 
 
-def build_store(num_speeches: int, seed: int = 31) -> SpeechStore:
+def build_store(
+    num_speeches: int,
+    seed: int = 31,
+    dims: int = NUM_DIMENSIONS,
+    values: int = VALUES_PER_DIMENSION,
+) -> SpeechStore:
     """A store with ``num_speeches`` speeches over stored lengths 0-3."""
-    vocabulary = _vocabulary()
+    vocabulary = _vocabulary(dims, values)
     dimensions = list(vocabulary)
     keys: list[dict[str, str]] = [{}]
     for length in (1, 2, 3):
@@ -78,18 +98,63 @@ def build_store(num_speeches: int, seed: int = 31) -> SpeechStore:
     return store
 
 
-def build_lookups(num_lookups: int, seed: int = 47) -> list[DataQuery]:
+def build_lookups(
+    num_lookups: int,
+    seed: int = 47,
+    dims: int = NUM_DIMENSIONS,
+    values: int = VALUES_PER_DIMENSION,
+) -> list[DataQuery]:
     """Random run-time queries of length 0-3 over the same vocabulary."""
-    vocabulary = _vocabulary()
+    vocabulary = _vocabulary(dims, values)
     dimensions = list(vocabulary)
     rng = np.random.default_rng(seed)
     lookups = []
     for _ in range(num_lookups):
         length = int(rng.integers(0, 4))
-        dims = rng.choice(dimensions, size=length, replace=False)
-        predicates = {d: vocabulary[d][int(rng.integers(0, VALUES_PER_DIMENSION))] for d in dims}
+        chosen = rng.choice(dimensions, size=length, replace=False)
+        predicates = {d: vocabulary[d][int(rng.integers(0, values))] for d in chosen}
         lookups.append(DataQuery.create(TARGET, predicates))
     return lookups
+
+
+def dict_store_bytes(store: SpeechStore) -> int:
+    """Deep ``sys.getsizeof`` over the dict store's object graph.
+
+    Deterministic for a given interpreter (unlike an RSS delta), and
+    counts every unique object once — index dicts, id lists, stored
+    speeches, queries, facts, scopes and strings.
+    """
+    seen: set[int] = set()
+    total = 0
+    stack: list = [
+        store._id_of_key,
+        store._by_id,
+        store._by_target,
+        store._postings,
+        store._by_target_length,
+    ]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif not isinstance(obj, (str, bytes, int, float, bool, type(None))):
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None:
+                stack.append(attrs)
+            for klass in type(obj).__mro__:
+                for slot in getattr(klass, "__slots__", ()):
+                    try:
+                        stack.append(getattr(obj, slot))
+                    except AttributeError:
+                        pass
+    return total
 
 
 def time_lookups(store: SpeechStore, lookups: list[DataQuery], indexed: bool) -> float:
@@ -141,11 +206,95 @@ def run(store_sizes: list[int], num_lookups: int) -> dict:
     }
 
 
+def run_compact(store_sizes: list[int], num_lookups: int) -> dict:
+    """Price the compact store against the dict store it mirrors."""
+    import tempfile
+
+    from repro.store import CompactSpeechStore, attach, freeze
+
+    dims, values = COMPACT_DIMENSIONS, COMPACT_VALUES
+    lookups = build_lookups(num_lookups, dims=dims, values=values)
+    sweep = []
+    agreement = True
+    for size in store_sizes:
+        store = build_store(size, dims=dims, values=values)
+        dict_bytes = dict_store_bytes(store)
+
+        start = time.perf_counter()
+        compact = CompactSpeechStore.from_store(store)
+        build_seconds = time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "store.snap"
+            start = time.perf_counter()
+            freeze(compact, path)
+            freeze_seconds = time.perf_counter() - start
+            file_bytes = path.stat().st_size
+            start = time.perf_counter()
+            attached = attach(path)
+            attach_seconds = time.perf_counter() - start
+
+            for query in lookups[: min(400, num_lookups)]:
+                dict_best = store.best_match(query)
+                compact_best = attached.best_match(query)
+                if (dict_best is None) != (compact_best is None) or (
+                    dict_best is not None
+                    and (
+                        compact_best.stored != dict_best.stored
+                        or compact_best.exact != dict_best.exact
+                    )
+                ):
+                    agreement = False
+
+            dict_seconds = time_lookups(store, lookups, indexed=True)
+            start = time.perf_counter()
+            for query in lookups:
+                attached.best_match(query)
+            compact_seconds = time.perf_counter() - start
+
+        sweep.append(
+            {
+                "store_size": size,
+                "dict_bytes_per_speech": dict_bytes / size,
+                "compact_bytes_per_speech": compact.nbytes / size,
+                "file_bytes_per_speech": file_bytes / size,
+                "compression_ratio": dict_bytes / compact.nbytes,
+                "build_seconds": build_seconds,
+                "freeze_seconds": freeze_seconds,
+                "attach_seconds": attach_seconds,
+                "dict_microseconds_per_lookup": dict_seconds / num_lookups * 1e6,
+                "compact_microseconds_per_lookup": compact_seconds
+                / num_lookups
+                * 1e6,
+                "lookup_ratio": dict_seconds / compact_seconds,
+            }
+        )
+    largest = sweep[-1]
+    return {
+        "workload": {
+            "dimensions": dims,
+            "values_per_dimension": values,
+            "lookups": num_lookups,
+        },
+        "sweep": sweep,
+        # Headline metrics at the largest size, for the regression gate:
+        # arena bytes per speech is deterministic for a given workload.
+        "bytes_per_speech": largest["compact_bytes_per_speech"],
+        "compression_ratio": largest["compression_ratio"],
+        "lookup_ratio": largest["lookup_ratio"],
+        "paths_agree": agreement,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--sizes", type=int, nargs="*", default=[250, 1000, 4000, 16000],
         help="store sizes to sweep",
+    )
+    parser.add_argument(
+        "--compact-sizes", type=int, nargs="*", default=[100_000, 1_000_000],
+        help="store sizes for the compact-store phase",
     )
     parser.add_argument("--lookups", type=int, default=4000)
     parser.add_argument(
@@ -157,8 +306,12 @@ def main(argv=None) -> int:
 
     if args.quick:
         report = run(store_sizes=[100, 400], num_lookups=400)
+        report["compact"] = run_compact(store_sizes=[2000, 8000], num_lookups=400)
     else:
         report = run(store_sizes=args.sizes, num_lookups=args.lookups)
+        report["compact"] = run_compact(
+            store_sizes=args.compact_sizes, num_lookups=args.lookups
+        )
 
     text = json.dumps(report, indent=2)
     print(text)
@@ -167,6 +320,12 @@ def main(argv=None) -> int:
 
     if not report["paths_agree"]:
         print("ERROR: indexed best_match disagrees with the linear scan", file=sys.stderr)
+        return 1
+    if not report["compact"]["paths_agree"]:
+        print(
+            "ERROR: compact best_match disagrees with the dict store",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -9,14 +9,20 @@ metric present in the fresh run but missing from the committed
 baseline is printed as skipped (regenerate with ``--update-baselines``)
 rather than crashing; one missing from the *fresh* run fails.
 
-Only *ratio* metrics are gated — speedups of one code path over another
-measured in the same process — because they are comparatively stable
-across machines, unlike absolute wall-clock numbers, which differ
-between the container that committed the baselines and whatever runner
-CI lands on.  Non-gated context numbers (absolute seconds, the
-pool-reuse amortisation, which depends on core count) are still
-captured in the fresh JSON written to ``--fresh-dir`` for the workflow
-to upload as artifacts.
+Most gated metrics are *ratios* — speedups of one code path over
+another measured in the same process — because they are comparatively
+stable across machines, unlike absolute wall-clock numbers, which
+differ between the container that committed the baselines and whatever
+runner CI lands on.  A metric may instead declare
+``"direction": "lower_is_better"``, which flips the gate into a
+*ceiling*: the measured value fails when it grows more than the
+tolerance above its baseline.  That is reserved for machine-independent
+absolutes such as ``compact.bytes_per_speech`` (arena bytes are
+deterministic for a given workload, so a bloated encoding is a real
+regression, not runner noise).  Non-gated context numbers (absolute
+seconds, the pool-reuse amortisation, which depends on core count) are
+still captured in the fresh JSON written to ``--fresh-dir`` for the
+workflow to upload as artifacts.
 
 Usage::
 
@@ -59,6 +65,16 @@ SPECS: list[dict] = [
         "metrics": [
             {"path": "sweep.0.speedup", "tolerance": 0.5},
             {"path": "sweep.1.speedup", "tolerance": 0.5},
+            # Arena bytes per speech in the columnar store at the
+            # largest quick size.  Deterministic for a given workload
+            # (no wall clock involved), so it is gated as an absolute
+            # with a ceiling: an encoding change that bloats the arenas
+            # by >30% fails even if every speedup ratio still passes.
+            {"path": "compact.bytes_per_speech", "direction": "lower_is_better"},
+            # Deep-traversed dict-store bytes / compact arena bytes.
+            # Guards the headline claim that the columnar layout is
+            # several times smaller than the dict store it mirrors.
+            {"path": "compact.compression_ratio"},
         ],
     },
     {
@@ -98,6 +114,14 @@ SPECS: list[dict] = [
             # also self-verifies session affinity and post-barrier
             # cross-shard byte parity.
             {"path": "sharded.throughput_ratio", "tolerance": 0.5},
+            # Pickled-store spawn template bytes / mmap-attach template
+            # bytes.  Guards the zero-copy claim: shards spawned in
+            # attach mode must receive a store-free template several
+            # times smaller than a full pickled engine.  Template sizes
+            # are deterministic for the quick workload, so the ratio is
+            # noise-free; the default tolerance still allows drift from
+            # unrelated engine-state growth.
+            {"path": "sharded.spawn.payload_ratio"},
         ],
     },
 ]
@@ -151,7 +175,10 @@ def main(argv=None) -> int:
         fresh_dir = BASELINE_DIR
     known = [spec["name"] for spec in SPECS]
     if args.only is not None and args.only not in known:
-        print(f"unknown benchmark {args.only!r}; known: {', '.join(known)}", file=sys.stderr)
+        print(
+            f"unknown benchmark {args.only!r}; known: {', '.join(known)}",
+            file=sys.stderr,
+        )
         return 2
     failures: list[str] = []
     for spec in SPECS:
@@ -191,6 +218,19 @@ def main(argv=None) -> int:
                     "metric is missing from the committed baseline "
                     "(regenerate with --update-baselines)"
                 )
+                continue
+            if metric.get("direction") == "lower_is_better":
+                ceiling = expected * (1.0 + tolerance)
+                status = "ok" if measured <= ceiling else "REGRESSION"
+                print(
+                    f"{name}.{path}: baseline {expected:.2f}, measured "
+                    f"{measured:.2f}, ceiling {ceiling:.2f} -> {status}"
+                )
+                if measured > ceiling:
+                    failures.append(
+                        f"{name}.{path}: {measured:.2f} > {ceiling:.2f} "
+                        f"(baseline {expected:.2f} + {tolerance:.0%})"
+                    )
                 continue
             floor = expected * (1.0 - tolerance)
             status = "ok" if measured >= floor else "REGRESSION"

@@ -23,7 +23,13 @@ The script exercises the multi-process tier's contract end to end:
    through the router;
 4. aggregated ``/v1/metrics``: totals cover the whole burst, the
    per-shard breakdown lists every shard, and the ``router`` section
-   reports the expected topology.
+   reports the expected topology;
+5. with ``--append N --require-digest-parity`` (a server started with
+   ``--snapshot-dir``, i.e. mmap-attached shards): N broadcast appends
+   drive maintenance swaps, after which ``GET /v1/store/digest`` must
+   report every shard serving byte-identical stores at snapshot
+   version N — the compact-store parity contract through real
+   processes.
 
 Exits non-zero on any violation, which is why CI reuses it as the
 sharded smoke driver.
@@ -149,6 +155,42 @@ async def main_async(args: argparse.Namespace) -> int:
         f"relay retries={router.get('relay_retries')}"
     )
 
+    # 5. Maintenance swaps + cross-shard byte parity (mmap-attach runs).
+    if args.append:
+        for index in range(args.append):
+            receipt = await client.append(
+                [
+                    {
+                        "airline": "F9",
+                        "origin_region": "West",
+                        "destination_region": "South",
+                        "season": "Winter",
+                        "month": "February",
+                        "time_of_day": "Evening",
+                        "day_type": "Weekday",
+                        "cancellation": 0.0,
+                        "delay_minutes": 30.0 + index,
+                    }
+                ]
+            )
+            if receipt.get("accepted_rows") != 1:
+                failures.append(f"append {index} not accepted: {receipt}")
+        digest = await client.store_digest()
+        print(
+            f"digest: snapshot v{digest.get('snapshot_version')}, "
+            f"consistent={digest.get('consistent')}, "
+            f"shards={digest.get('digests')}"
+        )
+        if digest.get("snapshot_version") != args.append:
+            failures.append(
+                f"{args.append} appends should leave snapshot version "
+                f"{args.append}, digest endpoint reports {digest}"
+            )
+        if args.require_digest_parity and not digest.get("consistent"):
+            failures.append(
+                f"post-swap shard stores are not byte-identical: {digest}"
+            )
+
     await client.aclose()
     for failure in failures:
         print(f"ERROR: {failure}", file=sys.stderr)
@@ -169,6 +211,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--expect-respawns", action="store_true", dest="expect_respawns",
         help="require router.respawns >= 1 (shard.crash failpoint armed)",
+    )
+    parser.add_argument(
+        "--append", type=int, default=0,
+        help="POST this many single-row /v1/append batches (one swap each)",
+    )
+    parser.add_argument(
+        "--require-digest-parity", action="store_true",
+        dest="require_digest_parity",
+        help="after the appends, require GET /v1/store/digest to report "
+        "byte-identical stores on every shard",
     )
     parser.add_argument(
         "--startup-timeout", type=float, default=180.0, dest="startup_timeout",

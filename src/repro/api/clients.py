@@ -84,6 +84,10 @@ class VoiceClient(Protocol):
         """A session summary, or None when the session is unknown."""
         ...
 
+    async def store_digest(self) -> dict[str, Any]:
+        """The current snapshot's store digest (byte-parity probe)."""
+        ...
+
     async def aclose(self) -> None:
         """Release transport resources."""
         ...
@@ -119,6 +123,9 @@ class InProcessClient:
 
     async def session(self, session_id: str) -> dict[str, Any] | None:
         return self._service.sessions.describe(session_id)
+
+    async def store_digest(self) -> dict[str, Any]:
+        return self._service.store_digest()
 
     async def aclose(self) -> None:
         """Nothing to release; the caller owns the service lifecycle."""
@@ -271,6 +278,9 @@ class HttpClient:
 
     async def health(self) -> dict[str, Any]:
         return await self._get_json("/healthz")
+
+    async def store_digest(self) -> dict[str, Any]:
+        return await self._get_json("/v1/store/digest")
 
     async def session(self, session_id: str) -> dict[str, Any] | None:
         # Session ids are arbitrary strings; percent-encode so spaces

@@ -299,6 +299,8 @@ def _build_serving_config(args: argparse.Namespace):
         journal_fsync=args.journal_fsync,
         checkpoint_every_swaps=args.checkpoint_every_swaps,
         checkpoint_keep=args.checkpoint_keep,
+        checkpoint_compact=getattr(args, "checkpoint_compact", False),
+        snapshot_dir=getattr(args, "snapshot_dir", None),
     )
 
 
@@ -686,6 +688,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--checkpoint-keep", type=int, default=3, dest="checkpoint_keep",
         help="checkpoints retained on disk (older ones pruned)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-compact", action="store_true", dest="checkpoint_compact",
+        help="persist the speech store inside checkpoints in the compact "
+        "snapshot format (store.snap) instead of canonical JSON",
+    )
+    serve_parser.add_argument(
+        "--snapshot-dir", default=None, dest="snapshot_dir",
+        help="directory for frozen compact-store snapshots; with --shards "
+        "> 1 the shards mmap-attach the current snapshot instead of "
+        "unpickling a private store copy",
     )
     serve_parser.set_defaults(handler=command_serve)
 

@@ -537,6 +537,13 @@ class MaintenanceScheduler:
             job.status = "completed"
             self._consecutive_failures = 0
             self._breaker_opened_at = None
+            if self._registry.publisher is not None:
+                # Refreeze the maintained store for shard (re)spawns.
+                # O(store), so on the executor; failures are recorded on
+                # the publisher, never raised into the job.
+                await loop.run_in_executor(
+                    self._executor, self._registry.publish_current
+                )
             if attempt > 1:
                 self._retry_successes += 1
             if self._durability is not None and job.journal_seqs:

@@ -65,6 +65,7 @@ from repro.storage.recovery import (
     RecoveredState,
     recover_state,
 )
+from repro.store import SnapshotError, SnapshotPublisher
 from repro.system.classification import RequestType
 from repro.system.engine import ResponseKind, VoiceQueryEngine, VoiceResponse
 from repro.system.nlq import ParsedRequest
@@ -246,6 +247,24 @@ class VoiceService:
         )
         self._durability: DurabilityCoordinator | None = None
         self._recovery: RecoveredState | None = None
+        self._publisher = None
+        initial_store_version = 0
+        if config.snapshot_dir is not None:
+            self._publisher = SnapshotPublisher(config.snapshot_dir)
+            if config.attach_snapshots:
+                # mmap-attach mode (shard side): serve from the newest
+                # frozen snapshot instead of the engine's own store —
+                # the respawn path that replays only the append-log
+                # suffix past the attached version.
+                attached = self._publisher.attach_latest()
+                if attached is None:
+                    raise SnapshotError(
+                        f"attach_snapshots is set but no snapshot in "
+                        f"{config.snapshot_dir} attaches "
+                        f"(last error: {self._publisher.last_error})"
+                    )
+                engine.swap_store(attached)
+                initial_store_version = attached.snapshot_version or 0
         if config.data_dir is not None:
             if config.failpoints:
                 # Recovery-boundary failpoints (recover.replay) must be
@@ -271,6 +290,7 @@ class VoiceService:
                 checkpoint_every_swaps=config.checkpoint_every_swaps,
                 checkpoint_every_bytes=config.checkpoint_every_bytes,
                 checkpoint_keep=config.checkpoint_keep,
+                checkpoint_compact=config.checkpoint_compact,
                 next_seq=recovered.next_seq,
                 truncate_at=recovered.journal_offset,
                 applied_seq=recovered.applied_seq,
@@ -282,7 +302,13 @@ class VoiceService:
                 self._durability.checkpoint_now(
                     recovered.store, recovered.table, store_version=0
                 )
-        self._registry = SnapshotRegistry(engine.store)
+        self._registry = SnapshotRegistry(
+            engine.store, version=initial_store_version, publisher=self._publisher
+        )
+        if self._publisher is not None and not config.attach_snapshots:
+            # Freeze the base store so the snapshot directory always
+            # covers a cold (re)spawn; swaps refreeze via the scheduler.
+            self._registry.publish_current()
         self._scheduler = MaintenanceScheduler(
             maintainer
             or IncrementalMaintainer(
@@ -352,6 +378,11 @@ class VoiceService:
     def durability(self) -> DurabilityCoordinator | None:
         """The durability coordinator (None without ``data_dir``)."""
         return self._durability
+
+    @property
+    def publisher(self) -> SnapshotPublisher | None:
+        """The snapshot publisher (None without ``snapshot_dir``)."""
+        return self._publisher
 
     @property
     def recovery(self) -> RecoveredState | None:

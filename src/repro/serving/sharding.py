@@ -65,6 +65,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import pickle
 import signal
 import time
 from typing import Any, Iterable, Sequence
@@ -84,7 +85,9 @@ from repro.relational.errors import SchemaError, TypeMismatchError
 from repro.relational.table import Table
 from repro.reliability import faults
 from repro.storage.recovery import DurabilityCoordinator, recover_state
+from repro.store import SnapshotError, SnapshotPublisher
 from repro.system.engine import VoiceQueryEngine, VoiceResponse
+from repro.system.speech_store import SpeechStore
 
 __all__ = ["ConsistentHashRing", "ShardManager"]
 
@@ -168,11 +171,19 @@ def _shard_main(conn, engine, config, index: int) -> None:
     Runs a full :class:`VoiceService` + :class:`VoiceHttpServer` on an
     ephemeral loopback port, reports ``("ready", index, port)`` over
     ``conn``, and serves until SIGTERM/SIGINT (clean drain, exit 0).
+
+    In mmap-attach mode ``engine`` arrives as a pre-pickled template
+    *without its store* (the manager froze the store to a snapshot
+    file); the service constructor attaches the newest snapshot from
+    ``config.snapshot_dir`` read-only instead.
     """
     # Imported lazily so the spawn interpreter pays for them once the
     # engine payload has already unpickled successfully.
     from repro.api.http_server import VoiceHttpServer
     from repro.serving.service import VoiceService
+
+    if isinstance(engine, bytes):
+        engine = pickle.loads(engine)
 
     def _quiet_cancelled(loop, context) -> None:
         # Keep-alive router connections parked in readline() at loop
@@ -322,6 +333,31 @@ class ShardManager:
                 truncate_at=recovered.journal_offset,
                 applied_seq=recovered.applied_seq,
             )
+        # With a snapshot directory the manager switches to mmap-attach
+        # spawning: the base store is frozen as snapshot v0 (after
+        # recovery, so shards attach the recovered state), the shard
+        # config points at the directory, and the pickle template is the
+        # engine *minus its store* — the heavy payload ships once as a
+        # file every shard maps read-only instead of N private copies.
+        self._publisher: SnapshotPublisher | None = None
+        self._spawn_payload: VoiceQueryEngine | bytes = engine
+        self._spawn_seconds: list[float] = []
+        if self._config.snapshot_dir is not None:
+            self._publisher = SnapshotPublisher(self._config.snapshot_dir)
+            if self._publisher.publish(engine.store, 0) is None:
+                raise SnapshotError(
+                    "could not freeze base snapshot v0 into "
+                    f"{self._config.snapshot_dir}: {self._publisher.last_error}"
+                )
+            self._shard_config = self._shard_config.replace(
+                snapshot_dir=self._config.snapshot_dir,
+                attach_snapshots=True,
+            )
+            previous = engine.swap_store(SpeechStore())
+            try:
+                self._spawn_payload = pickle.dumps(engine)
+            finally:
+                engine.swap_store(previous)
         # Post-start appends, in broadcast order: (journal seq or None,
         # JSON rows).  Replayed one batch at a time into respawned
         # shards so every shard applies the same jobs in the same order.
@@ -372,8 +408,47 @@ class ShardManager:
     def durability(self) -> DurabilityCoordinator | None:
         return self._durability
 
+    @property
+    def publisher(self) -> SnapshotPublisher | None:
+        return self._publisher
+
     def shard_ports(self) -> list[int | None]:
         return [handle.port for handle in self._shards]
+
+    def shard_pids(self) -> list[int | None]:
+        """OS pids of the live shard processes (None for unspawned)."""
+        return [
+            handle.process.pid if handle.process is not None else None
+            for handle in self._shards
+        ]
+
+    def spawn_stats(self) -> dict:
+        """What each (re)spawn ships and how long the handshakes took.
+
+        ``template_bytes`` is the pickled engine payload a shard
+        receives; in attach mode that excludes the store, which instead
+        arrives via the mmap'd snapshot file (``snapshot_bytes``).
+        Computing the pickle-mode size is O(store), so this is meant
+        for benchmarks and tests, not hot paths.
+        """
+        if isinstance(self._spawn_payload, bytes):
+            template_bytes = len(self._spawn_payload)
+        else:
+            template_bytes = len(pickle.dumps(self._spawn_payload))
+        stats: dict[str, Any] = {
+            "mode": "attach" if self._publisher is not None else "pickle",
+            "template_bytes": template_bytes,
+            "spawn_seconds": list(self._spawn_seconds),
+        }
+        if self._publisher is not None:
+            versions = self._publisher.versions()
+            if versions:
+                newest = versions[-1]
+                stats["snapshot_version"] = newest
+                stats["snapshot_bytes"] = (
+                    self._publisher.path_for(newest).stat().st_size
+                )
+        return stats
 
     def _healthy_indices(self) -> list[int]:
         return [handle.index for handle in self._shards if handle.healthy]
@@ -436,10 +511,11 @@ class ShardManager:
         Runs on an executor thread — process start-up and the ready
         handshake must not stall the router loop mid-respawn.
         """
+        started = time.monotonic()
         recv_conn, send_conn = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=_shard_main,
-            args=(send_conn, self._engine, self._shard_config, handle.index),
+            args=(send_conn, self._spawn_payload, self._shard_config, handle.index),
             name=f"voice-shard-{handle.index}",
             daemon=True,
         )
@@ -473,6 +549,7 @@ class ShardManager:
         handle.port = message[2]
         handle.generation += 1
         handle.healthy = True
+        self._spawn_seconds.append(time.monotonic() - started)
 
     def _stop_shard(self, handle: _ShardHandle) -> None:
         handle.healthy = False
@@ -513,8 +590,17 @@ class ShardManager:
         One batch per request, each confirmed before the next, so the
         shard's maintenance jobs group exactly like the live shards'
         did — the precondition for byte-identical stores.
+
+        In mmap-attach mode the shard started from the newest frozen
+        snapshot, whose version equals the append-log position that
+        produced it — only the suffix past it needs replaying.
         """
+        start_version = 0
+        if self._publisher is not None:
+            start_version = await self._shard_version(handle)
         for position, (_, rows) in enumerate(self._append_log, start=1):
+            if position <= start_version:
+                continue
             body = json.dumps({"rows": rows}).encode("utf-8")
             status, payload = await self._shard_request(
                 handle, "POST", "/v1/append", body
@@ -525,6 +611,19 @@ class ShardManager:
                     f"{position}: {status} {payload!r}"
                 )
             await self._await_version(handle, position)
+
+    async def _shard_version(self, handle: _ShardHandle) -> int:
+        """One shard's current snapshot version (0 when unreadable)."""
+        try:
+            status, payload = await self._shard_json(handle, "GET", "/healthz")
+        except ConnectionError:
+            return 0
+        if status != 200:
+            return 0
+        try:
+            return max(0, int(payload.get("snapshot_version", 0)))
+        except (TypeError, ValueError):
+            return 0
 
     # ------------------------------------------------------------------
     # Raw shard transport

@@ -44,8 +44,9 @@ class StoreSnapshot:
         The underlying store.  Published snapshots are immutable by
         contract: all writes go to a :meth:`begin_build` clone.
     version:
-        Monotonically increasing swap generation (0 = the store the
-        registry started with).
+        Monotonically increasing swap generation (the registry's
+        starting version — 0, or the attached snapshot's version when
+        the store was mmap-attached — marks the store it began with).
     created_at:
         ``time.time()`` when the snapshot was published.
     """
@@ -88,9 +89,14 @@ class SnapshotRegistry:
     is uncontended).
     """
 
-    def __init__(self, store: SpeechStore):
+    def __init__(self, store: SpeechStore, version: int = 0, publisher=None):
         self._lock = threading.Lock()
-        self._current = StoreSnapshot(store=store, version=0)
+        self._current = StoreSnapshot(store=store, version=version)
+        #: Optional :class:`repro.store.SnapshotPublisher`.  When set,
+        #: :meth:`publish_current` freezes the current store into the
+        #: publisher's directory as ``store-v{version}.snap`` — the file
+        #: a (re)spawning shard attaches instead of unpickling a store.
+        self.publisher = publisher
 
     @property
     def current(self) -> StoreSnapshot:
@@ -101,6 +107,21 @@ class SnapshotRegistry:
     def version(self) -> int:
         """Version of the latest published snapshot."""
         return self._current.version
+
+    def publish_current(self):
+        """Freeze the current snapshot through the publisher, if any.
+
+        Runs off the event loop (the maintenance scheduler calls it on
+        its executor after each swap): freezing is O(store).  Returns
+        the snapshot file path, or None when there is no publisher or
+        the freeze failed (recorded on ``publisher.last_error`` — a
+        failed publish never takes serving down; the previous frozen
+        version keeps covering respawns).
+        """
+        if self.publisher is None:
+            return None
+        snapshot = self._current
+        return self.publisher.publish(snapshot.store, snapshot.version)
 
     def swap(self, store: SpeechStore) -> StoreSnapshot:
         """Publish ``store`` as the new current snapshot.

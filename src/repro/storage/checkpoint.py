@@ -10,7 +10,11 @@ Each checkpoint is a directory named by its watermark
 
 * ``store.json`` — the canonical speech-store payload
   (:func:`repro.system.persistence.canonical_store_payload`), the same
-  bytes the parity oracle compares.
+  bytes the parity oracle compares.  With ``compact=True`` the store is
+  written as ``store.snap`` instead — the checksummed columnar snapshot
+  format of :mod:`repro.store`, considerably smaller for large stores
+  and validated twice on load (manifest CRC plus the format's own
+  header/section checksums).
 * ``table.json`` — the maintained table, canonically encoded.
 * ``manifest.json`` — the watermark (``applied_seq``), the snapshot
   version that produced the state, the journal byte offset at save
@@ -37,6 +41,7 @@ from pathlib import Path
 from repro.relational.table import Table
 from repro.reliability import faults
 from repro.storage.durability import table_from_payload, table_to_payload
+from repro.store import attach, freeze
 from repro.system.persistence import (
     canonical_store_payload,
     store_from_payload,
@@ -76,13 +81,19 @@ class CheckpointManager:
         ``checkpoints/`` subdirectory).
     keep:
         Checkpoints retained after each save; older ones are deleted.
+    compact:
+        Persist the store in the compact snapshot format
+        (``store.snap``) instead of canonical JSON.  Loading handles
+        both formats regardless of this flag, so the setting can be
+        toggled between runs.
     """
 
-    def __init__(self, root: str | Path, keep: int = 3):
+    def __init__(self, root: str | Path, keep: int = 3, compact: bool = False):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self._dir = Path(root) / "checkpoints"
         self._keep = int(keep)
+        self._compact = bool(compact)
 
     @property
     def directory(self) -> Path:
@@ -126,7 +137,13 @@ class CheckpointManager:
             shutil.rmtree(tmp)
         tmp.mkdir()
         try:
-            store_payload = canonical_store_payload(store)
+            if self._compact:
+                store_file = "store.snap"
+                freeze(store, tmp / store_file, snapshot_version=int(store_version))
+                store_payload = (tmp / store_file).read_bytes()
+            else:
+                store_file = "store.json"
+                store_payload = canonical_store_payload(store)
             table_payload = json.dumps(
                 table_to_payload(table), sort_keys=True, separators=(",", ":")
             ).encode("utf-8")
@@ -135,10 +152,12 @@ class CheckpointManager:
                 "applied_seq": int(applied_seq),
                 "store_version": int(store_version),
                 "journal_offset": int(journal_offset),
+                "store_format": "compact" if self._compact else "json",
                 "store_crc32": zlib.crc32(store_payload),
                 "table_crc32": zlib.crc32(table_payload),
             }
-            self._write_file(tmp / "store.json", store_payload)
+            if not self._compact:
+                self._write_file(tmp / store_file, store_payload)
             self._write_file(tmp / "table.json", table_payload)
             self._write_file(
                 tmp / "manifest.json",
@@ -214,14 +233,21 @@ class CheckpointManager:
             return None
         if manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION:
             return None
+        store_format = manifest.get("store_format", "json")
         try:
-            store_payload = (path / "store.json").read_bytes()
+            store_file = "store.snap" if store_format == "compact" else "store.json"
+            store_payload = (path / store_file).read_bytes()
             table_payload = (path / "table.json").read_bytes()
             if zlib.crc32(store_payload) != int(manifest["store_crc32"]):
                 return None
             if zlib.crc32(table_payload) != int(manifest["table_crc32"]):
                 return None
-            store, _ = store_from_payload(store_payload)
+            if store_format == "compact":
+                # attach() re-verifies the format's own checksums; thaw
+                # to a mutable store so journal replay can build on it.
+                store = attach(path / store_file).clone()
+            else:
+                store, _ = store_from_payload(store_payload)
             table = table_from_payload(json.loads(table_payload.decode("utf-8")))
             return LoadedCheckpoint(
                 store=store,

@@ -221,6 +221,7 @@ class DurabilityCoordinator:
         next_seq: int = 1,
         truncate_at: int | None = None,
         applied_seq: int = 0,
+        checkpoint_compact: bool = False,
     ):
         if checkpoint_every_swaps < 1:
             raise ValueError(
@@ -238,7 +239,9 @@ class DurabilityCoordinator:
             next_seq=next_seq,
             truncate_at=truncate_at,
         )
-        self._checkpoints = CheckpointManager(self._data_dir, keep=checkpoint_keep)
+        self._checkpoints = CheckpointManager(
+            self._data_dir, keep=checkpoint_keep, compact=checkpoint_compact
+        )
         self._every_swaps = int(checkpoint_every_swaps)
         self._every_bytes = int(checkpoint_every_bytes)
         self._applied_seq = int(applied_seq)

@@ -1,0 +1,32 @@
+"""Compact, zero-copy speech store.
+
+The read-optimized counterpart of
+:class:`repro.system.speech_store.SpeechStore`: the same speeches and
+the same matching semantics, held as flat columnar arrays that freeze
+to a checksummed snapshot file and attach back via mmap with no
+per-speech deserialisation — the layout that lets N shard processes
+share one copy of a million-speech store.
+"""
+
+from repro.store.columnar import CompactSpeechStore
+from repro.store.errors import (
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+)
+from repro.store.format import SNAPSHOT_FORMAT_VERSION, attach, freeze
+from repro.store.publish import SnapshotPublisher, snapshot_filename
+
+__all__ = [
+    "CompactSpeechStore",
+    "SnapshotCorruptionError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "SNAPSHOT_FORMAT_VERSION",
+    "attach",
+    "freeze",
+    "SnapshotPublisher",
+    "snapshot_filename",
+]

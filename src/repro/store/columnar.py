@@ -1,0 +1,601 @@
+"""Columnar, zero-copy speech store.
+
+:class:`repro.system.speech_store.SpeechStore` is built for cheap
+incremental mutation: dicts of Python lists, one boxed object per
+posting entry.  A serving deployment holding 10⁵–10⁶ speeches pays for
+that twice — once in resident memory (dict + list + PyLong overhead per
+posting) and once per shard, because every spawned shard unpickles its
+own private copy.
+
+:class:`CompactSpeechStore` is the read-optimized counterpart: the same
+speeches, the same lookup semantics, laid out as a handful of flat
+numpy arrays over interned string pools so the whole store is a few
+contiguous buffers.  The layout is what `format.py` writes to disk —
+an attached snapshot wraps mmap-backed views of the *identical* arrays,
+so N shard processes share one page-cache copy.
+
+Layout
+------
+* **Pools** — targets, columns, algorithms and predicate/scope values
+  are interned once; values are stored as canonical JSON so they decode
+  back to the exact Python object (``int`` stays ``int``).
+* **Speech columns** — per speech id: target id, algorithm id,
+  utility/scaled-utility float64 columns, and the speech text as a
+  slice of one UTF-8 blob (offset array + arena).
+* **CSR structures** — stored-query predicates, facts and fact scopes
+  are (offsets, column-id, value-id) compressed sparse rows; posting
+  lists are a digest-sorted key array plus an offsets + int32-id pair,
+  replacing the dict-of-list inverted index.
+* **Probe tables** — exact-key lookups binary-search a sorted 64-bit
+  key-digest array; every digest hit is verified against the stored
+  predicates before it is trusted, so a (vanishingly unlikely) digest
+  collision can never produce a wrong match.
+
+Matching parity
+---------------
+``exact_match`` / ``best_match`` reproduce ``SpeechStore`` bit for bit:
+exact key first, subset enumeration (longest stored query wins,
+smallest speech id within a length) for short queries, posting-list
+intersection with the zero-predicate fallback for long ones.  Speech
+ids equal first-insertion order, so insertion-order tie-breaking
+carries over exactly.  The property tests drive both stores plus the
+``linear_best_match`` oracle over random workloads and require
+byte-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from hashlib import blake2b
+from itertools import combinations
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.model import Fact, Scope, Speech
+from repro.system.queries import DataQuery
+from repro.system.speech_store import MatchResult, SpeechStore, StoredSpeech
+
+#: Decoded :class:`StoredSpeech` objects kept hot per store instance.
+#: Lookups concentrate on few speeches; an unbounded cache would slowly
+#: rebuild the boxed store the compact layout exists to avoid.
+_DECODE_CACHE_SIZE = 1024
+
+
+# ----------------------------------------------------------------------
+# Canonical value encoding
+# ----------------------------------------------------------------------
+def _canonical_token(value: Any) -> str:
+    """A string whose equality mirrors Python ``==`` on predicate values.
+
+    ``SpeechStore`` keys dicts with raw values, where ``1``, ``1.0`` and
+    ``True`` collide (equal hash, equal value).  Digests must respect
+    the same equality classes, so numeric values normalise to one
+    canonical form before hashing; strings and ``None`` are tagged to
+    keep ``"1"`` distinct from ``1``.
+    """
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        return "i:%d" % value if isinstance(value, int) else "f:" + repr(value)
+    if isinstance(value, str):
+        return "s:" + value
+    if value is None:
+        return "z"
+    return "j:" + json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _value_json(value: Any) -> str:
+    """Lossless storage form of a value (exact type round-trip)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _key_digest(target: str, pairs: list[tuple[str, str]]) -> int:
+    """64-bit digest of an exact-match key ``(target, predicates)``.
+
+    ``pairs`` are ``(column, canonical token)`` in the query's own
+    (sorted-by-column) predicate order.
+    """
+    h = blake2b(digest_size=8)
+    h.update(target.encode("utf-8"))
+    h.update(b"\x1f")
+    for column, token in pairs:
+        h.update(column.encode("utf-8"))
+        h.update(b"\x1e")
+        h.update(token.encode("utf-8"))
+        h.update(b"\x1d")
+    return int.from_bytes(h.digest(), "little")
+
+
+def _posting_digest(target: str, column: str, token: str) -> int:
+    """64-bit digest of a posting key ``(target, column, value)``."""
+    h = blake2b(digest_size=8)
+    h.update(b"P\x1f")
+    h.update(target.encode("utf-8"))
+    h.update(b"\x1f")
+    h.update(column.encode("utf-8"))
+    h.update(b"\x1e")
+    h.update(token.encode("utf-8"))
+    return int.from_bytes(h.digest(), "little")
+
+
+# ----------------------------------------------------------------------
+# Build-side interning helpers
+# ----------------------------------------------------------------------
+class _Pool:
+    """An append-only intern pool of strings."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self.items: list[str] = []
+
+    def intern(self, item: str) -> int:
+        idx = self._index.get(item)
+        if idx is None:
+            idx = len(self.items)
+            self._index[item] = idx
+            self.items.append(item)
+        return idx
+
+    def blob(self) -> tuple[bytes, np.ndarray]:
+        offsets = np.zeros(len(self.items) + 1, dtype=np.int64)
+        chunks = []
+        position = 0
+        for i, item in enumerate(self.items):
+            encoded = item.encode("utf-8")
+            chunks.append(encoded)
+            position += len(encoded)
+            offsets[i + 1] = position
+        return b"".join(chunks), offsets
+
+
+def _pool_sections(name: str, pool: _Pool, sections: dict[str, Any]) -> None:
+    blob, offsets = pool.blob()
+    sections[f"{name}_blob"] = blob
+    sections[f"{name}_off"] = offsets
+
+
+def _decode_pool(sections: dict[str, Any], name: str) -> list[str]:
+    blob = memoryview(sections[f"{name}_blob"])
+    offsets = sections[f"{name}_off"]
+    return [
+        bytes(blob[int(offsets[i]) : int(offsets[i + 1])]).decode("utf-8")
+        for i in range(len(offsets) - 1)
+    ]
+
+
+class CompactSpeechStore:
+    """Read-only columnar speech store (built in memory or mmap-attached).
+
+    Presents the read side of the :class:`SpeechStore` interface —
+    ``exact_match`` / ``best_match`` / iteration / ``clone`` — so
+    snapshots, the engine and the serving stack use either store
+    interchangeably.  ``clone`` thaws back to a mutable
+    :class:`SpeechStore` (maintenance builds on the mutable store and
+    refreezes on swap).
+    """
+
+    def __init__(
+        self,
+        sections: dict[str, Any],
+        meta: dict[str, Any],
+        backing: tuple | None = None,
+    ) -> None:
+        self._sections = sections
+        self._meta = meta
+        # Keep the (mmap, file) pair alive as long as any array view.
+        self._backing = backing
+        self._targets = _decode_pool(sections, "targets")
+        self._columns = _decode_pool(sections, "columns")
+        self._algorithms = _decode_pool(sections, "algorithms")
+        self._target_index = {t: i for i, t in enumerate(self._targets)}
+        self._value_cache: dict[int, Any] = {}
+        self._token_cache: dict[int, str] = {}
+        self._decoded: OrderedDict[int, StoredSpeech] = OrderedDict()
+        # (target id, stored length) -> bucket row.  O(#buckets), tiny.
+        bucket_target = sections["bucket_target"]
+        bucket_length = sections["bucket_length"]
+        self._buckets = {
+            (int(bucket_target[i]), int(bucket_length[i])): i
+            for i in range(len(bucket_target))
+        }
+
+    # ------------------------------------------------------------------
+    # Construction from a mutable store
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store: "SpeechStore | CompactSpeechStore"
+    ) -> "CompactSpeechStore":
+        """Compact a store; speech ids keep first-insertion order."""
+        if isinstance(store, CompactSpeechStore):
+            return store
+        targets, columns, algorithms, values = _Pool(), _Pool(), _Pool(), _Pool()
+        target_id: list[int] = []
+        algorithm_id: list[int] = []
+        utility: list[float] = []
+        scaled_utility: list[float] = []
+        text_chunks: list[bytes] = []
+        text_off = [0]
+        q_off = [0]
+        q_col: list[int] = []
+        q_val: list[int] = []
+        f_off = [0]
+        fact_value: list[float] = []
+        fact_support: list[int] = []
+        s_off = [0]
+        s_col: list[int] = []
+        s_val: list[int] = []
+        key_digests: list[int] = []
+        postings: dict[tuple[int, int, str], list[int]] = {}
+        posting_digests: dict[tuple[int, int, str], int] = {}
+        buckets: dict[tuple[int, int], list[int]] = {}
+
+        for speech_id, stored in enumerate(store):
+            target = stored.query.target
+            tid = targets.intern(target)
+            target_id.append(tid)
+            algorithm_id.append(algorithms.intern(stored.algorithm))
+            utility.append(float(stored.utility))
+            scaled_utility.append(float(stored.scaled_utility))
+            encoded = stored.text.encode("utf-8")
+            text_chunks.append(encoded)
+            text_off.append(text_off[-1] + len(encoded))
+
+            pairs: list[tuple[str, str]] = []
+            for column, value in stored.query.predicates:
+                cid = columns.intern(column)
+                q_col.append(cid)
+                q_val.append(values.intern(_value_json(value)))
+                token = _canonical_token(value)
+                pairs.append((column, token))
+                posting_key = (tid, cid, token)
+                if posting_key not in postings:
+                    postings[posting_key] = []
+                    posting_digests[posting_key] = _posting_digest(
+                        target, column, token
+                    )
+                postings[posting_key].append(speech_id)
+            q_off.append(len(q_col))
+            key_digests.append(_key_digest(target, pairs))
+            buckets.setdefault((tid, stored.query.length), []).append(speech_id)
+
+            for fact in stored.speech:
+                fact_value.append(float(fact.value))
+                fact_support.append(int(fact.support))
+                for column, value in fact.scope:
+                    s_col.append(columns.intern(column))
+                    s_val.append(values.intern(_value_json(value)))
+                s_off.append(len(s_col))
+            f_off.append(len(fact_value))
+
+        sections: dict[str, Any] = {}
+        _pool_sections("targets", targets, sections)
+        _pool_sections("columns", columns, sections)
+        _pool_sections("algorithms", algorithms, sections)
+        _pool_sections("values", values, sections)
+        sections["target_id"] = np.asarray(target_id, dtype=np.int32)
+        sections["algorithm_id"] = np.asarray(algorithm_id, dtype=np.int32)
+        sections["utility"] = np.asarray(utility, dtype=np.float64)
+        sections["scaled_utility"] = np.asarray(scaled_utility, dtype=np.float64)
+        sections["text_blob"] = b"".join(text_chunks)
+        sections["text_off"] = np.asarray(text_off, dtype=np.int64)
+        sections["q_off"] = np.asarray(q_off, dtype=np.int64)
+        sections["q_col"] = np.asarray(q_col, dtype=np.int32)
+        sections["q_val"] = np.asarray(q_val, dtype=np.int32)
+        sections["f_off"] = np.asarray(f_off, dtype=np.int64)
+        sections["fact_value"] = np.asarray(fact_value, dtype=np.float64)
+        sections["fact_support"] = np.asarray(fact_support, dtype=np.int64)
+        sections["s_off"] = np.asarray(s_off, dtype=np.int64)
+        sections["s_col"] = np.asarray(s_col, dtype=np.int32)
+        sections["s_val"] = np.asarray(s_val, dtype=np.int32)
+
+        digest_array = np.asarray(key_digests, dtype=np.uint64)
+        order = np.argsort(digest_array, kind="stable")
+        sections["key_digest"] = digest_array[order]
+        sections["key_sorted_id"] = order.astype(np.int32)
+
+        posting_keys = sorted(postings, key=lambda k: posting_digests[k])
+        post_off = [0]
+        post_ids: list[int] = []
+        for key in posting_keys:
+            post_ids.extend(postings[key])
+            post_off.append(len(post_ids))
+        sections["post_digest"] = np.asarray(
+            [posting_digests[k] for k in posting_keys], dtype=np.uint64
+        )
+        sections["post_off"] = np.asarray(post_off, dtype=np.int64)
+        sections["post_ids"] = np.asarray(post_ids, dtype=np.int32)
+
+        bucket_keys = sorted(buckets)
+        bucket_off = [0]
+        bucket_ids: list[int] = []
+        for key in bucket_keys:
+            bucket_ids.extend(buckets[key])
+            bucket_off.append(len(bucket_ids))
+        sections["bucket_target"] = np.asarray(
+            [k[0] for k in bucket_keys], dtype=np.int32
+        )
+        sections["bucket_length"] = np.asarray(
+            [k[1] for k in bucket_keys], dtype=np.int32
+        )
+        sections["bucket_off"] = np.asarray(bucket_off, dtype=np.int64)
+        sections["bucket_ids"] = np.asarray(bucket_ids, dtype=np.int32)
+
+        return cls(sections, {"speeches": len(target_id)})
+
+    # ------------------------------------------------------------------
+    # Sizing / metadata
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sections["target_id"])
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Snapshot metadata (speech count, optional snapshot version)."""
+        return dict(self._meta)
+
+    @property
+    def snapshot_version(self) -> int | None:
+        """Version recorded at freeze time; None for in-memory builds."""
+        version = self._meta.get("snapshot_version")
+        return None if version is None else int(version)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all sections (the store's true footprint)."""
+        total = 0
+        for payload in self._sections.values():
+            total += payload.nbytes if isinstance(payload, np.ndarray) else len(payload)
+        return total
+
+    def sections(self) -> dict[str, Any]:
+        """The raw named sections (arrays and blobs) for serialisation."""
+        return dict(self._sections)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _value(self, value_id: int) -> Any:
+        value = self._value_cache.get(value_id)
+        if value is None and value_id not in self._value_cache:
+            blob = memoryview(self._sections["values_blob"])
+            offsets = self._sections["values_off"]
+            raw = bytes(blob[int(offsets[value_id]) : int(offsets[value_id + 1])])
+            value = json.loads(raw.decode("utf-8"))
+            self._value_cache[value_id] = value
+        return value
+
+    def _token(self, value_id: int) -> str:
+        token = self._token_cache.get(value_id)
+        if token is None:
+            token = _canonical_token(self._value(value_id))
+            self._token_cache[value_id] = token
+        return token
+
+    def _decode(self, speech_id: int) -> StoredSpeech:
+        s = self._sections
+        target = self._targets[int(s["target_id"][speech_id])]
+        qa, qb = int(s["q_off"][speech_id]), int(s["q_off"][speech_id + 1])
+        predicates = tuple(
+            (self._columns[int(s["q_col"][i])], self._value(int(s["q_val"][i])))
+            for i in range(qa, qb)
+        )
+        fa, fb = int(s["f_off"][speech_id]), int(s["f_off"][speech_id + 1])
+        facts = []
+        for f in range(fa, fb):
+            sa, sb = int(s["s_off"][f]), int(s["s_off"][f + 1])
+            scope = Scope(
+                {
+                    self._columns[int(s["s_col"][i])]: self._value(int(s["s_val"][i]))
+                    for i in range(sa, sb)
+                }
+            )
+            facts.append(
+                Fact(
+                    scope=scope,
+                    value=float(s["fact_value"][f]),
+                    support=int(s["fact_support"][f]),
+                )
+            )
+        ta, tb = int(s["text_off"][speech_id]), int(s["text_off"][speech_id + 1])
+        text = bytes(memoryview(s["text_blob"])[ta:tb]).decode("utf-8")
+        return StoredSpeech(
+            query=DataQuery(target=target, predicates=predicates),
+            speech=Speech(facts),
+            text=text,
+            utility=float(s["utility"][speech_id]),
+            scaled_utility=float(s["scaled_utility"][speech_id]),
+            algorithm=self._algorithms[int(s["algorithm_id"][speech_id])],
+        )
+
+    def stored(self, speech_id: int) -> StoredSpeech:
+        """The speech for one id, decoded through a small LRU cache."""
+        cached = self._decoded.get(speech_id)
+        if cached is not None:
+            self._decoded.move_to_end(speech_id)
+            return cached
+        stored = self._decode(speech_id)
+        self._decoded[speech_id] = stored
+        if len(self._decoded) > _DECODE_CACHE_SIZE:
+            self._decoded.popitem(last=False)
+        return stored
+
+    def __iter__(self) -> Iterator[StoredSpeech]:
+        # Id order is first-insertion order, matching SpeechStore.
+        for speech_id in range(len(self)):
+            yield self._decode(speech_id)
+
+    def targets(self) -> list[str]:
+        """Target columns with at least one stored speech."""
+        return sorted(self._targets)
+
+    def speeches_for_target(self, target: str) -> list[StoredSpeech]:
+        """All stored speeches for one target column (insertion order)."""
+        tid = self._target_index.get(target)
+        if tid is None:
+            return []
+        s = self._sections
+        ids: list[int] = []
+        for (bucket_tid, _length), row in self._buckets.items():
+            if bucket_tid == tid:
+                a, b = int(s["bucket_off"][row]), int(s["bucket_off"][row + 1])
+                ids.extend(int(i) for i in s["bucket_ids"][a:b])
+        return [self.stored(i) for i in sorted(ids)]
+
+    def clone(self) -> SpeechStore:
+        """Thaw into a mutable :class:`SpeechStore`.
+
+        Re-adding every speech in id order reassigns identical ids, so
+        the thawed store answers every query exactly like this one —
+        which is what lets maintenance ``begin_build`` on an attached
+        snapshot transparently.
+        """
+        store = SpeechStore()
+        for stored in self:
+            store.add(stored)
+        return store
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _key_equals(
+        self, speech_id: int, target: str, pairs: list[tuple[str, str]]
+    ) -> bool:
+        """Verify a digest hit against the stored predicates."""
+        s = self._sections
+        if self._targets[int(s["target_id"][speech_id])] != target:
+            return False
+        qa, qb = int(s["q_off"][speech_id]), int(s["q_off"][speech_id + 1])
+        if qb - qa != len(pairs):
+            return False
+        for k, (column, token) in enumerate(pairs):
+            if self._columns[int(s["q_col"][qa + k])] != column:
+                return False
+            if self._token(int(s["q_val"][qa + k])) != token:
+                return False
+        return True
+
+    def _find_key(self, target: str, pairs: list[tuple[str, str]]) -> int:
+        """Speech id stored under exactly this key, or -1."""
+        digests = self._sections["key_digest"]
+        digest = np.uint64(_key_digest(target, pairs))
+        lo = int(np.searchsorted(digests, digest, side="left"))
+        hi = int(np.searchsorted(digests, digest, side="right"))
+        for i in range(lo, hi):
+            speech_id = int(self._sections["key_sorted_id"][i])
+            if self._key_equals(speech_id, target, pairs):
+                return speech_id
+        return -1
+
+    def exact_match(self, query: DataQuery) -> StoredSpeech | None:
+        """The speech pre-generated for exactly this query, if any."""
+        if query.target not in self._target_index:
+            return None
+        pairs = [
+            (column, _canonical_token(value)) for column, value in query.predicates
+        ]
+        speech_id = self._find_key(query.target, pairs)
+        return None if speech_id < 0 else self.stored(speech_id)
+
+    def best_match(self, query: DataQuery) -> MatchResult | None:
+        """The most specific stored speech containing the queried subset.
+
+        Same contract (and same tie-breaking) as
+        :meth:`SpeechStore.best_match`.
+        """
+        exact = self.exact_match(query)
+        if exact is not None:
+            return MatchResult(stored=exact, exact=True, overlap=query.length)
+        if query.length <= SpeechStore._SUBSET_ENUMERATION_MAX_LENGTH:
+            return self._subset_enumeration_match(query)
+        return self._postings_match(query)
+
+    def _subset_enumeration_match(self, query: DataQuery) -> MatchResult | None:
+        tid = self._target_index.get(query.target)
+        if tid is None:
+            return None
+        pairs = [
+            (column, _canonical_token(value)) for column, value in query.predicates
+        ]
+        for length in range(query.length - 1, -1, -1):
+            if (tid, length) not in self._buckets:
+                continue
+            best_id = -1
+            for subset in combinations(pairs, length):
+                speech_id = self._find_key(query.target, list(subset))
+                if speech_id >= 0 and (best_id < 0 or speech_id < best_id):
+                    best_id = speech_id
+            if best_id >= 0:
+                return MatchResult(
+                    stored=self.stored(best_id), exact=False, overlap=length
+                )
+        return None
+
+    def _speech_has_predicate(
+        self, speech_id: int, target: str, column: str, token: str
+    ) -> bool:
+        s = self._sections
+        if self._targets[int(s["target_id"][speech_id])] != target:
+            return False
+        qa, qb = int(s["q_off"][speech_id]), int(s["q_off"][speech_id + 1])
+        for i in range(qa, qb):
+            if (
+                self._columns[int(s["q_col"][i])] == column
+                and self._token(int(s["q_val"][i])) == token
+            ):
+                return True
+        return False
+
+    def _postings_match(self, query: DataQuery) -> MatchResult | None:
+        tid = self._target_index.get(query.target)
+        if tid is None:
+            return None
+        s = self._sections
+        post_digest = s["post_digest"]
+        post_off = s["post_off"]
+        post_ids = s["post_ids"]
+        hits: dict[int, int] = {}
+        for column, value in query.predicates:
+            token = _canonical_token(value)
+            digest = np.uint64(_posting_digest(query.target, column, token))
+            lo = int(np.searchsorted(post_digest, digest, side="left"))
+            hi = int(np.searchsorted(post_digest, digest, side="right"))
+            for entry in range(lo, hi):
+                a, b = int(post_off[entry]), int(post_off[entry + 1])
+                # All ids in a posting list share one key: verifying the
+                # first member screens out digest collisions.
+                if not self._speech_has_predicate(
+                    int(post_ids[a]), query.target, column, token
+                ):
+                    continue
+                for speech_id in post_ids[a:b]:
+                    speech_id = int(speech_id)
+                    hits[speech_id] = hits.get(speech_id, 0) + 1
+                break
+
+        q_off = s["q_off"]
+        best_id = -1
+        best_length = -1
+        for speech_id, count in hits.items():
+            length = int(q_off[speech_id + 1]) - int(q_off[speech_id])
+            if count != length:
+                continue
+            if length > best_length or (
+                length == best_length and speech_id < best_id
+            ):
+                best_id = speech_id
+                best_length = length
+
+        if best_id < 0:
+            overall = self._buckets.get((tid, 0))
+            if overall is None:
+                return None
+            best_id = int(s["bucket_ids"][int(s["bucket_off"][overall])])
+            best_length = 0
+        return MatchResult(
+            stored=self.stored(best_id), exact=False, overlap=best_length
+        )

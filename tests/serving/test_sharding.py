@@ -174,3 +174,75 @@ class TestShardedServing:
                 assert summary["completed"] >= 4
 
         asyncio.run(asyncio.wait_for(scenario(), timeout=180))
+
+    def test_mmap_attach_mode_digest_parity_and_suffix_catch_up(self, tmp_path):
+        """The tentpole contract of attach-mode spawning, end to end.
+
+        With ``snapshot_dir`` set the shards mmap the frozen base store
+        instead of unpickling a private copy (the spawn template must
+        not contain the store), post-swap digests match a
+        single-process service byte-for-byte, and a SIGKILLed shard
+        respawns from the newest frozen version, replaying only the
+        append-log suffix past it.
+        """
+        import os
+        import pickle
+        import signal
+
+        engine = make_engine(build_example_table())
+        config = ServingConfig(
+            concurrency=2, shards=2, snapshot_dir=str(tmp_path / "snapshots")
+        )
+
+        async def reference():
+            service = VoiceService(make_engine(build_example_table()))
+            async with service:
+                service.request_append(append_table(APPEND_ROWS))
+                await service.scheduler.quiesce()
+                return service.store_digest()["digest"]
+
+        async def scenario(ref_digest):
+            async with ShardManager(engine, config) as manager:
+                stats = manager.spawn_stats()
+                assert stats["mode"] == "attach"
+                assert stats["snapshot_version"] == 0
+                # The spawn template must be store-free: a pickled full
+                # engine would dwarf it.
+                assert stats["template_bytes"] < len(pickle.dumps(engine)) / 2
+                assert len(stats["spawn_seconds"]) == 2
+
+                digests = await manager.store_digests()
+                assert digests["consistent"], digests
+
+                batch = manager.build_append_table(
+                    [
+                        dict(zip(("region", "season", "delay"), row))
+                        for row in APPEND_ROWS
+                    ]
+                )
+                await manager.request_append(batch)
+                digests = await manager.store_digests()
+                assert digests["consistent"], digests
+                assert set(digests["digests"].values()) == {ref_digest}
+                # Every shard refroze the swapped store as version 1.
+                assert 1 in manager.publisher.versions()
+
+                # Kill one shard: the respawn must attach the newest
+                # frozen version and still reach digest parity.
+                os.kill(manager.shard_pids()[0], signal.SIGKILL)
+
+                async def until_respawned():
+                    while (
+                        manager.respawn_total < 1
+                        or manager.health()["status"] != "ok"
+                    ):
+                        await asyncio.sleep(0.05)
+
+                await asyncio.wait_for(until_respawned(), timeout=60)
+                digests = await manager.store_digests()
+                assert digests["consistent"], digests
+                assert set(digests["digests"].values()) == {ref_digest}
+                assert manager.spawn_stats()["snapshot_version"] == 1
+
+        ref_digest = asyncio.run(reference())
+        asyncio.run(asyncio.wait_for(scenario(ref_digest), timeout=180))

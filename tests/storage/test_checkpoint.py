@@ -141,6 +141,47 @@ class TestCheckpointFailpoint:
         assert manager.load_latest().applied_seq == 2
 
 
+class TestCompactCheckpoints:
+    def test_compact_round_trip(self, tmp_path, engine):
+        manager = CheckpointManager(tmp_path, compact=True)
+        newest = save_checkpoint(manager, engine, applied_seq=5, journal_offset=9)
+        assert (newest / "store.snap").exists()
+        assert not (newest / "store.json").exists()
+        manifest = json.loads((newest / "manifest.json").read_text())
+        assert manifest["store_format"] == "compact"
+
+        loaded = CheckpointManager(tmp_path).load_latest()
+        assert loaded is not None
+        assert loaded.applied_seq == 5
+        assert canonical_store_payload(loaded.store) == canonical_store_payload(
+            engine.store
+        )
+        # The thawed store must be mutable (journal replay builds on it).
+        from repro.system.speech_store import SpeechStore
+
+        assert isinstance(loaded.store, SpeechStore)
+
+    def test_compact_corruption_falls_back_to_older(self, tmp_path, engine):
+        manager = CheckpointManager(tmp_path, compact=True)
+        save_checkpoint(manager, engine, applied_seq=1)
+        newest = save_checkpoint(manager, engine, applied_seq=2)
+        blob = bytearray((newest / "store.snap").read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (newest / "store.snap").write_bytes(bytes(blob))
+        assert manager.load_latest().applied_seq == 1
+
+    def test_formats_can_be_mixed_across_saves(self, tmp_path, engine):
+        CheckpointManager(tmp_path, compact=False).save(
+            engine.store, engine.table, applied_seq=1, store_version=1, journal_offset=0
+        )
+        CheckpointManager(tmp_path, compact=True).save(
+            engine.store, engine.table, applied_seq=2, store_version=2, journal_offset=0
+        )
+        # A json-configured manager still loads the compact newest.
+        loaded = CheckpointManager(tmp_path, compact=False).load_latest()
+        assert loaded.applied_seq == 2
+
+
 class TestAppendTableHelper:
     def test_fixture_schema_matches_engine(self, engine):
         batch = append_table([("East", "Winter", 55.0)])

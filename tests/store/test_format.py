@@ -1,0 +1,185 @@
+"""The on-disk snapshot format: round-trips, and loud failure.
+
+The contract under test is absolute: ``attach`` either yields a store
+that answers byte-identically to the one ``freeze`` saw, or raises a
+typed :class:`repro.store.SnapshotError` — a damaged file may cost an
+error, never a wrong match.  Every byte of the file is covered by one
+of the three CRCs, so the corruption property is quantified over *any*
+single flipped byte and *any* truncation point.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotPublisher,
+    SnapshotVersionError,
+    attach,
+    freeze,
+    snapshot_filename,
+)
+from repro.store.format import HEADER_SIZE, MAGIC
+from repro.system.persistence import canonical_store_payload
+from repro.system.speech_store import SpeechStore
+
+from tests.store.conftest import queries, stores
+
+
+def roundtrip(tmp_path, store, version=None):
+    path = tmp_path / "store.snap"
+    freeze(store, path, snapshot_version=version)
+    return path, attach(path)
+
+
+class TestRoundTrip:
+    @given(data=st.data(), store=stores())
+    @settings(max_examples=40, deadline=None)
+    def test_freeze_attach_is_identity(self, data, store, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("snap")
+        _, attached = roundtrip(tmp_path, store)
+        assert len(attached) == len(store)
+        assert canonical_store_payload(attached) == canonical_store_payload(store)
+        if len(store):
+            query = data.draw(queries(store))
+            assert attached.best_match(query) == store.best_match(query)
+
+    def test_snapshot_version_round_trips(self, tmp_path):
+        _, attached = roundtrip(tmp_path, SpeechStore(), version=7)
+        assert attached.snapshot_version == 7
+        assert attached.meta["speeches"] == 0
+
+    def test_freeze_is_deterministic(self, tmp_path):
+        from tests.store.test_columnar import simple_speech
+
+        store = SpeechStore()
+        store.add(simple_speech("delay", {}, "overall"))
+        store.add(simple_speech("delay", {"region": "East"}, "east"))
+        freeze(store, tmp_path / "a.snap")
+        freeze(store, tmp_path / "b.snap")
+        assert (tmp_path / "a.snap").read_bytes() == (tmp_path / "b.snap").read_bytes()
+
+    def test_attach_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            attach(tmp_path / "absent.snap")
+
+
+@pytest.fixture(scope="module")
+def frozen_bytes(tmp_path_factory) -> bytes:
+    """One deterministic frozen file's bytes, shared across examples."""
+    from tests.store.test_columnar import simple_speech
+
+    store = SpeechStore()
+    store.add(simple_speech("delay", {}, "overall"))
+    store.add(simple_speech("delay", {"region": "East"}, "east"))
+    store.add(simple_speech("cancellation", {"season": 2}, "two"))
+    path = tmp_path_factory.mktemp("frozen") / "store.snap"
+    freeze(store, path, snapshot_version=3)
+    return path.read_bytes()
+
+
+class TestCorruptionMatrix:
+    def write(self, tmp_path_factory, blob: bytes):
+        path = tmp_path_factory.mktemp("corrupt") / "store.snap"
+        path.write_bytes(blob)
+        return path
+
+    @given(offset=st.integers(min_value=0))
+    @settings(max_examples=120, deadline=None)
+    def test_any_flipped_byte_raises_typed_error(
+        self, frozen_bytes, tmp_path_factory, offset
+    ):
+        blob = bytearray(frozen_bytes)
+        blob[offset % len(blob)] ^= 0xFF
+        with pytest.raises(SnapshotError):
+            attach(self.write(tmp_path_factory, bytes(blob)))
+
+    @given(cut=st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_raises_typed_error(
+        self, frozen_bytes, tmp_path_factory, cut
+    ):
+        blob = frozen_bytes[: cut % len(frozen_bytes)]
+        with pytest.raises(SnapshotError):
+            attach(self.write(tmp_path_factory, blob))
+
+    def test_trailing_junk_raises(self, frozen_bytes, tmp_path_factory):
+        path = self.write(tmp_path_factory, frozen_bytes + b"junk")
+        with pytest.raises(SnapshotCorruptionError):
+            attach(path)
+
+    def test_bad_magic_raises_format_error(self, frozen_bytes, tmp_path_factory):
+        blob = bytearray(frozen_bytes)
+        blob[: len(MAGIC)] = b"NOTASNAP"
+        with pytest.raises(SnapshotFormatError):
+            attach(self.write(tmp_path_factory, bytes(blob)))
+
+    def test_version_skew_raises_version_error(self, frozen_bytes, tmp_path_factory):
+        # Bump the format version *and* recompute the header CRC, so the
+        # version check (not the checksum) is what fires.
+        blob = bytearray(frozen_bytes)
+        blob[8:12] = (SNAPSHOT_FORMAT_VERSION + 1).to_bytes(4, "little")
+        blob[40:44] = zlib.crc32(bytes(blob[:40])).to_bytes(4, "little")
+        with pytest.raises(SnapshotVersionError):
+            attach(self.write(tmp_path_factory, bytes(blob)))
+
+    def test_header_size_is_stable(self, frozen_bytes):
+        # The corruption tests poke absolute offsets; pin the layout.
+        assert HEADER_SIZE == 44
+        assert frozen_bytes[: len(MAGIC)] == MAGIC
+
+
+class TestPublisher:
+    def make_store(self, *texts):
+        from tests.store.test_columnar import simple_speech
+
+        store = SpeechStore()
+        for index, text in enumerate(texts):
+            store.add(simple_speech("delay", {"region": text}, text))
+        return store
+
+    def test_publish_attach_latest(self, tmp_path):
+        publisher = SnapshotPublisher(tmp_path)
+        assert publisher.publish(self.make_store("a"), 0) is not None
+        assert publisher.publish(self.make_store("a", "b"), 1) is not None
+        assert publisher.versions() == [0, 1]
+        attached = publisher.attach_latest()
+        assert attached is not None and attached.snapshot_version == 1
+        assert len(attached) == 2
+
+    def test_publish_existing_version_is_noop(self, tmp_path):
+        publisher = SnapshotPublisher(tmp_path)
+        publisher.publish(self.make_store("a"), 0)
+        before = publisher.path_for(0).read_bytes()
+        publisher.publish(self.make_store("completely", "different"), 0)
+        assert publisher.path_for(0).read_bytes() == before
+        assert publisher.published == 1
+
+    def test_attach_latest_falls_back_past_corrupt_newest(self, tmp_path):
+        publisher = SnapshotPublisher(tmp_path)
+        publisher.publish(self.make_store("a"), 0)
+        publisher.publish(self.make_store("a", "b"), 1)
+        newest = publisher.path_for(1)
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        attached = publisher.attach_latest()
+        assert attached is not None and attached.snapshot_version == 0
+        assert publisher.last_error is not None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        publisher = SnapshotPublisher(tmp_path, keep=2)
+        for version in range(5):
+            publisher.publish(self.make_store(*"abcde"[: version + 1]), version)
+        assert publisher.versions() == [3, 4]
+
+    def test_filename_layout(self):
+        assert snapshot_filename(7) == "store-v000000000007.snap"
